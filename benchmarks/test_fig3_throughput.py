@@ -1,0 +1,72 @@
+"""Figure 3: TX/RX bandwidth and CPU utilization vs transaction size.
+
+Paper's headline shapes:
+* process affinity alone has little throughput impact;
+* interrupt affinity alone gains up to ~25%;
+* full affinity gains up to ~29-30%;
+* CPUs are (nearly) fully utilized at every size;
+* absolute bandwidth grows with transaction size.
+"""
+
+from repro.core.experiment import PAPER_SIZES
+from repro.core.metrics import best_gain, throughput_gain
+from repro.core.modes import AFFINITY_MODES
+from repro.core.report import render_figure3
+
+from conftest import write_artifact
+
+
+def _render(sweep, direction):
+    return render_figure3(sweep, PAPER_SIZES, AFFINITY_MODES, direction)
+
+
+def test_figure3_tx(benchmark, tx_sweep, artifacts_dir):
+    text = benchmark.pedantic(
+        _render, args=(tx_sweep, "tx"), rounds=1, iterations=1
+    )
+    write_artifact(artifacts_dir, "figure3_tx.txt", text)
+
+    # Shape: full/irq affinity beat no affinity materially; proc alone
+    # does not.
+    assert best_gain(tx_sweep, PAPER_SIZES, "full") > 0.10
+    assert best_gain(tx_sweep, PAPER_SIZES, "irq") > 0.10
+    assert abs(best_gain(tx_sweep, PAPER_SIZES, "proc")) < 0.10
+
+    # Shape: bandwidth increases with transaction size.
+    for mode in AFFINITY_MODES:
+        small = tx_sweep[(128, mode)].throughput_mbps
+        large = tx_sweep[(65536, mode)].throughput_mbps
+        assert large > 2 * small
+
+    # Shape: CPUs are nearly fully utilized in all cases.
+    for size in PAPER_SIZES:
+        for mode in AFFINITY_MODES:
+            assert tx_sweep[(size, mode)].utilization > 0.85
+
+
+def test_figure3_rx(benchmark, rx_sweep, artifacts_dir):
+    text = benchmark.pedantic(
+        _render, args=(rx_sweep, "rx"), rounds=1, iterations=1
+    )
+    write_artifact(artifacts_dir, "figure3_rx.txt", text)
+
+    assert best_gain(rx_sweep, PAPER_SIZES, "full") > 0.08
+    assert best_gain(rx_sweep, PAPER_SIZES, "irq") > 0.08
+    for mode in AFFINITY_MODES:
+        assert (
+            rx_sweep[(65536, mode)].throughput_mbps
+            > 2 * rx_sweep[(128, mode)].throughput_mbps
+        )
+
+
+def test_affinity_gain_grows_with_size_tx(benchmark, tx_sweep, artifacts_dir):
+    """The paper: "Affinity has a bigger impact on large size
+    transfers" -- compare the full-affinity gain at the extremes."""
+
+    def check():
+        gain_small = throughput_gain(tx_sweep, 128, "full")
+        gain_large = throughput_gain(tx_sweep, 65536, "full")
+        assert gain_large > gain_small
+        return gain_large
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

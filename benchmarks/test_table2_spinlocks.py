@@ -1,0 +1,52 @@
+"""Table 2: spinlock branch behaviour under contention.
+
+Paper's shapes: under full affinity the lock bin's branch and
+instruction counts collapse to a small fraction of the no-affinity
+counts (5-10% in the paper); the misprediction *ratio* rises because
+the one loop-exit mispredict divides a tiny denominator; contention
+essentially disappears.
+"""
+
+from repro.core.lockstudy import LockComparison
+from repro.core.report import render_table2
+
+from conftest import write_artifact
+
+
+def test_table2_spinlocks_tx64(benchmark, tx64_pair, artifacts_dir):
+    comparison = LockComparison(*tx64_pair)
+    text = benchmark.pedantic(
+        render_table2, args=(comparison,), rounds=1, iterations=1
+    )
+    write_artifact(artifacts_dir, "table2_spinlocks.txt", text)
+
+    # Branch collapse (paper: full-affinity executes 5-10% of the
+    # no-affinity branch count; we accept < 60%).
+    assert comparison.branch_collapse_ratio() < 0.6
+
+    # Contention collapses.
+    assert comparison.contention("full") < comparison.contention("none")
+
+    # The apparent mispredict ratio does not *drop* -- fewer branches
+    # make the fixed exit mispredict loom larger.
+    assert (
+        comparison.mispredict_ratio("full")
+        >= comparison.mispredict_ratio("none") * 0.9
+    )
+
+    # Spin time per work shrinks.
+    assert (
+        comparison.spin_cycles_per_bit("full")
+        < comparison.spin_cycles_per_bit("none")
+    )
+
+
+def test_table2_claims_all_corners(benchmark, tx128_pair, rx64_pair, artifacts_dir):
+    def check():
+        for pair, label in ((tx128_pair, "tx128"), (rx64_pair, "rx64")):
+            comparison = LockComparison(*pair)
+            checks = comparison.assertions()
+            failed = [k for k, ok in checks.items() if not ok]
+            assert not failed, "%s failed: %s" % (label, failed)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,123 @@
+"""A guided tour of the paper's Section 6.1 baseline observations.
+
+The paper's prose makes a series of specific claims about where TCP
+processing time goes; this example re-derives each one from a live
+simulation and prints the claim next to the measured number:
+
+1. 64KB hotspots: engine, buffer mgmt, copies; 128B hotspots:
+   interface, engine.
+2. Driver time is substantial for large transfers.
+3. TCP processing does poorly on CPI overall; interface and locks are
+   the worst.
+4. The engine's normalized share stays ~constant across sizes.
+5. RX copies cost far more than TX copies (rep movl vs the rolled-out
+   loop).
+6. RX 64KB timers time is dominated by do_gettimeofday in the receive
+   bottom half.
+7. Branches are ~10-16% of instructions; mispredicts low.
+
+Run:
+    python examples/characterization_tour.py
+"""
+
+from repro.core.characterization import characterize
+from repro.core.experiment import (
+    DEFAULT_CACHE,
+    ExperimentConfig,
+    run_experiment,
+)
+from repro.cpu.events import CYCLES
+
+
+def corner(direction, size):
+    return run_experiment(
+        ExperimentConfig(direction=direction, message_size=size,
+                         affinity="none"),
+        cache=DEFAULT_CACHE,
+        progress=lambda msg: print("  " + msg),
+    )
+
+
+def check(label, ok, detail):
+    print("  [%s] %s\n        %s" % ("x" if ok else " ", label, detail))
+
+
+def main():
+    print("Running the four characterization corners (cached)...")
+    tx64 = corner("tx", 65536)
+    tx128 = corner("tx", 128)
+    rx64 = corner("rx", 65536)
+    rx128 = corner("rx", 128)
+    r_tx64 = characterize(tx64)
+    r_tx128 = characterize(tx128)
+    r_rx64 = characterize(rx64)
+    print("\nSection 6.1, observation by observation:\n")
+
+    hot64 = sorted(
+        ("engine", "buf_mgmt", "copies", "interface", "driver"),
+        key=lambda b: -r_tx64[b].pct_cycles,
+    )[:3]
+    check(
+        "64KB hotspots are engine/buf-mgmt/copies",
+        set(hot64) == {"engine", "buf_mgmt", "copies"},
+        "top three bins at TX 64KB: %s" % ", ".join(
+            "%s %.0f%%" % (b, r_tx64[b].pct_cycles * 100) for b in hot64),
+    )
+    check(
+        "128B hotspots are interface + engine",
+        r_tx128["interface"].pct_cycles > 0.3
+        and r_tx128["engine"].pct_cycles > 0.15,
+        "TX 128B: interface %.0f%%, engine %.0f%%" % (
+            r_tx128["interface"].pct_cycles * 100,
+            r_tx128["engine"].pct_cycles * 100),
+    )
+    check(
+        "driver time substantial for large transfers",
+        r_tx64["driver"].pct_cycles > r_tx128["driver"].pct_cycles,
+        "driver share: %.1f%% at 64KB vs %.1f%% at 128B" % (
+            r_tx64["driver"].pct_cycles * 100,
+            r_tx128["driver"].pct_cycles * 100),
+    )
+    check(
+        "TCP does poorly on CPI; interface and locks worst",
+        r_tx64["overall"].cpi > 3
+        and r_tx64["interface"].cpi > r_tx64["overall"].cpi
+        and r_tx64["locks"].cpi > r_tx64["overall"].cpi,
+        "overall CPI %.1f; interface %.1f; locks %.1f" % (
+            r_tx64["overall"].cpi, r_tx64["interface"].cpi,
+            r_tx64["locks"].cpi),
+    )
+    check(
+        "engine share roughly constant across sizes",
+        abs(r_tx64["engine"].pct_cycles - r_tx128["engine"].pct_cycles)
+        < 0.15,
+        "engine: %.0f%% at 64KB, %.0f%% at 128B (paper: 20-30%% always)"
+        % (r_tx64["engine"].pct_cycles * 100,
+           r_tx128["engine"].pct_cycles * 100),
+    )
+    check(
+        "RX copies far costlier than TX copies (rep movl)",
+        r_rx64["copies"].cpi > 4 * r_tx64["copies"].cpi,
+        "copy CPI: RX %.1f vs TX %.1f" % (
+            r_rx64["copies"].cpi, r_tx64["copies"].cpi),
+    )
+    gettod = rx64.function_events().get("do_gettimeofday")
+    timer_cycles = rx64.bin_vector("timers")[CYCLES]
+    share = gettod[1][CYCLES] / float(timer_cycles) if gettod else 0.0
+    check(
+        "RX 64KB timers dominated by do_gettimeofday",
+        share > 0.5,
+        "do_gettimeofday is %.0f%% of RX-64KB timer cycles" % (share * 100),
+    )
+    check(
+        "branches ~10-16% of instructions, mispredicts low",
+        0.08 < r_tx64["overall"].pct_branches < 0.2
+        and r_tx64["overall"].pct_mispredicted < 0.02,
+        "branches %.1f%% of instructions, %.2f%% mispredicted" % (
+            r_tx64["overall"].pct_branches * 100,
+            r_tx64["overall"].pct_mispredicted * 100),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Extension: dynamic interrupt placement -- from 2.6's rotation to RSS.
+
+The paper's related-work section describes the Linux 2.6 scheme (rotate
+interrupt delivery to a random CPU every so often: fixes the CPU0
+bottleneck, but "cache inefficiencies are still unavoidable"), and its
+conclusion anticipates receive-side scaling: NICs that steer each
+flow's interrupts to the processor consuming that flow.
+
+This example runs the 64KB transmit workload under five placements and
+shows the progression the paper predicts:
+
+    none  <  rotate  <  irq ~ rss ~ full
+
+RSS reaches static-full-affinity performance with *no pinning at all*:
+processes stay free, the interrupts follow them.
+
+Run:
+    python examples/dynamic_affinity.py
+"""
+
+from repro.core.experiment import DEFAULT_CACHE, ExperimentConfig, run_experiment
+
+MODES = ("none", "rotate", "irq", "rss", "full")
+
+DESCRIPTIONS = {
+    "none": "default: all IRQs -> CPU0, scheduler places processes",
+    "rotate": "Linux 2.6 style: random IRQ rotation every 10ms",
+    "irq": "static IRQ distribution (paper's irq-affinity mode)",
+    "rss": "RSS-style: per-flow IRQs follow the consuming process",
+    "full": "static full affinity (paper's best case)",
+}
+
+
+def main():
+    print("TX 64KB, 8 connections, five interrupt-placement schemes\n")
+    results = {}
+    for mode in MODES:
+        results[mode] = run_experiment(
+            ExperimentConfig(direction="tx", message_size=65536,
+                             affinity=mode, warmup_ms=14, measure_ms=18),
+            cache=DEFAULT_CACHE,
+            progress=lambda msg: print("  " + msg),
+        )
+    print()
+    baseline = results["none"].throughput_gbps
+    for mode in MODES:
+        r = results[mode]
+        print("%-7s %6.0f Mb/s  %.2f GHz/Gbps  %+5.1f%%   %s"
+              % (mode, r.throughput_mbps, r.cost_ghz_per_gbps,
+                 (r.throughput_gbps / baseline - 1) * 100,
+                 DESCRIPTIONS[mode]))
+    print("\nThe rotation scheme recovers part of the affinity benefit")
+    print("(it spreads the interrupt load) but keeps paying coherence")
+    print("misses; flow-aware steering recovers essentially all of it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Spinlock microbenchmark: Table 2's branch arithmetic in isolation.
+
+The paper explains an apparent anomaly -- lock code's branch
+*misprediction ratio* rises under full affinity -- by disassembling
+the spinlock: the contended spin loop executes one branch per polling
+iteration, so time spent spinning manufactures branches; remove the
+contention and the fixed loop-exit mispredict divides a tiny
+denominator.
+
+This microbenchmark puts two tasks on separate CPUs hammering one
+lock, sweeps the hold time, and prints the lock-bin branch counts and
+mispredict ratios -- the same arithmetic, without the TCP stack around
+it.
+
+Run:
+    python examples/lock_microbench.py
+"""
+
+from repro.cpu.events import BRANCHES, BR_MISPREDICTS, CYCLES
+from repro.kernel.machine import Machine
+from repro.kernel.task import Task
+
+MS = 2_000_000
+
+
+def run(hold_instructions, contended):
+    machine = Machine(n_cpus=2, seed=41)
+    fn = machine.functions.register("critical_section", "engine",
+                                    branch_frac=0.1)
+    lock = machine.new_lock("bench")
+
+    def hammer(cpu_mask):
+        def body(ctx):
+            while True:
+                yield ("spin", lock)
+                ctx.charge(fn, hold_instructions)
+                ctx.unlock(lock)
+                ctx.charge(fn, 200)  # non-critical work
+                yield ("preempt_check",)
+        return body
+
+    machine.spawn(Task("a", hammer(0b01), cpus_allowed=0b01), cpu_index=0)
+    if contended:
+        machine.spawn(Task("b", hammer(0b10), cpus_allowed=0b10),
+                      cpu_index=1)
+    machine.start()
+    machine.run_for(4 * MS)
+    machine.reset_measurement()
+    machine.run_for(8 * MS)
+    bins = machine.accounting.per_bin()
+    locks_vec = bins["locks"]
+    return {
+        "acquisitions": lock.acquisitions,
+        "contended": lock.contention_ratio(),
+        "branches": locks_vec[BRANCHES],
+        "mispredict_ratio": (
+            locks_vec[BR_MISPREDICTS] / locks_vec[BRANCHES]
+            if locks_vec[BRANCHES] else 0.0
+        ),
+        "lock_cycles": locks_vec[CYCLES],
+        "spin_cycles": lock.total_spin_cycles,
+    }
+
+
+def main():
+    print("Two CPUs hammering one spinlock vs a single owner\n")
+    print("%-18s %12s %10s %12s %10s" % (
+        "hold (instr)", "branches", "%misp", "spin cycles", "contended"))
+    for hold in (500, 2000, 8000):
+        for contended in (False, True):
+            r = run(hold, contended)
+            label = "%-6d %-10s" % (hold,
+                                    "2-cpu" if contended else "1-cpu")
+            print("%-18s %12d %9.2f%% %12d %9.1f%%" % (
+                label, r["branches"], r["mispredict_ratio"] * 100,
+                r["spin_cycles"], r["contended"] * 100))
+    print("\nContended runs execute orders of magnitude more lock-bin")
+    print("branches: one per polling iteration, so branch count tracks")
+    print("time spent spinning (the paper's key observation).  Each")
+    print("spin exits with exactly one mispredict, so the ratio moves")
+    print("with spin length: short frequent spins raise it, long spins")
+    print("dilute it toward zero, and the uncontended intrinsic rate is")
+    print("the floor.  In the full stack (Table 2), affinity removes")
+    print("the spins entirely and the few remaining mispredicts loom")
+    print("large against the collapsed branch count.")
+
+
+if __name__ == "__main__":
+    main()

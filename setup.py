@@ -1,0 +1,11 @@
+"""Legacy install shim.
+
+The execution environment is offline and lacks the ``wheel`` package,
+so PEP 517 builds cannot run; this shim lets ``pip install -e .`` fall
+back to the classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""Statistics and table-formatting utilities used by the analyses."""
+
+from repro.analysis.stats import (
+    rankdata,
+    spearman_critical_value,
+    spearman_rank_correlation,
+)
+from repro.analysis.tables import TextTable, format_pct
+
+__all__ = [
+    "rankdata",
+    "spearman_rank_correlation",
+    "spearman_critical_value",
+    "TextTable",
+    "format_pct",
+]

@@ -1,0 +1,13 @@
+"""Workloads that drive the simulated stack.
+
+* :mod:`repro.apps.ttcp` -- the paper's bulk-transfer micro-benchmark;
+* :mod:`repro.apps.iscsi` -- the iSCSI-target future-work workload;
+* :mod:`repro.apps.webserve` -- connection-churn web serving (the
+  paper's workload-partitioning argument).
+"""
+
+from repro.apps.iscsi import IscsiTargetWorkload
+from repro.apps.ttcp import TtcpWorkload
+from repro.apps.webserve import WebServerWorkload
+
+__all__ = ["TtcpWorkload", "IscsiTargetWorkload", "WebServerWorkload"]

@@ -1,0 +1,100 @@
+"""An iSCSI-target-shaped workload (the paper's future work).
+
+Section 8: "We have started initial work that showed promising
+performance gains when running a file IO benchmark over iSCSI/TCP."
+
+This workload models the target side of that benchmark: per
+connection, an initiator (the peer) keeps a queue of fixed-size READ
+commands outstanding; the server process reads each 48-byte command
+and responds with a block of data served from cache.  Compared with
+ttcp it exercises *both* directions of every connection — receive
+processing for commands, transmit processing for data — so affinity
+benefits accrue on both halves of the stack.
+"""
+
+from repro.kernel.task import Task
+
+#: iSCSI basic header segment size.
+COMMAND_BYTES = 48
+
+
+class IscsiTargetWorkload:
+    """One target process per connection, serving READ commands."""
+
+    def __init__(self, machine, stack, block_bytes):
+        if stack.mode != "iscsi":
+            raise ValueError(
+                "IscsiTargetWorkload needs a stack in 'iscsi' mode, got %r"
+                % stack.mode
+            )
+        self.machine = machine
+        self.stack = stack
+        self.block_bytes = block_bytes
+        self.commands_served = [0] * len(stack.connections)
+        self.bytes_served = [0] * len(stack.connections)
+        self.tasks = []
+        machine.add_resettable(self)
+
+    def spawn_all(self, initial_cpu=0):
+        for conn in self.stack.connections:
+            task = Task("iscsi%d" % conn.conn_id, self._make_body(conn))
+            self.tasks.append(task)
+            self.machine.spawn(task, cpu_index=initial_cpu)
+        return self.tasks
+
+    def _make_body(self, conn):
+        stack = self.stack
+        block = self.block_bytes
+        index = conn.conn_id
+
+        def body(ctx):
+            # Warm the served block once (in-cache content, like the
+            # paper's static-file serving assumption).
+            warm = stack.specs["tcp_sendmsg"]
+            ctx.charge(warm, 50,
+                       writes=[(conn.user_buffer.addr,
+                                min(block, conn.user_buffer.size))])
+            while True:
+                got = 0
+                while got < COMMAND_BYTES:
+                    n = yield from stack.sys_read(
+                        ctx, conn, COMMAND_BYTES - got
+                    )
+                    got += n
+                yield from stack.sys_write(ctx, conn, block)
+                self.commands_served[index] += 1
+                self.bytes_served[index] += block
+                yield ("preempt_check",)
+
+        return body
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+
+    @property
+    def messages_done(self):
+        """Alias for ExperimentResult compatibility (commands)."""
+        return self.commands_served
+
+    def total_bytes(self):
+        return sum(self.bytes_served)
+
+    def total_commands(self):
+        return sum(self.commands_served)
+
+    def reset_stats(self):
+        self.commands_served = [0] * len(self.commands_served)
+        self.bytes_served = [0] * len(self.bytes_served)
+
+    def iops(self, window_cycles, hz):
+        """Served commands per second over the window."""
+        if window_cycles <= 0:
+            return 0.0
+        return self.total_commands() / (window_cycles / float(hz))
+
+    def throughput_gbps(self, window_cycles, hz):
+        if window_cycles <= 0:
+            return 0.0
+        seconds = window_cycles / float(hz)
+        return self.total_bytes() * 8.0 / seconds / 1e9

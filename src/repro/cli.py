@@ -1,0 +1,189 @@
+"""``repro-affinity``: run affinity experiments from the shell.
+
+Examples::
+
+    # One experiment, printed as a summary plus per-bin profile.
+    repro-affinity run --direction tx --size 65536 --affinity full
+
+    # Compare all four affinity modes at one size.
+    repro-affinity compare --direction tx --size 65536
+
+    # Regenerate one of the paper's tables.
+    repro-affinity table1 --direction rx --size 65536
+    repro-affinity table3 --direction tx --size 128
+
+Results are cached in ``.repro-results/`` (override with
+``REPRO_RESULTS_DIR``).
+"""
+
+import argparse
+import sys
+
+from repro.core.experiment import (
+    DEFAULT_CACHE,
+    ExperimentConfig,
+    run_experiment,
+)
+from repro.core.characterization import BIN_LABELS, STACK_BINS, characterize
+from repro.core.metrics import run_size_sweep
+from repro.core.modes import AFFINITY_MODES, EXTENDED_MODES
+from repro.core.report import (
+    render_figure3,
+    render_figure4,
+    render_table1,
+    render_table3,
+)
+
+
+def _add_common(parser):
+    parser.add_argument("--direction", choices=("tx", "rx"), default="tx")
+    parser.add_argument("--size", type=int, default=65536,
+                        help="ttcp transaction size in bytes")
+    parser.add_argument("--connections", type=int, default=8)
+    parser.add_argument("--cpus", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--warmup-ms", type=int, default=20)
+    parser.add_argument("--measure-ms", type=int, default=30)
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always re-run, ignore cached results")
+    parser.add_argument("--workload", choices=("ttcp", "iscsi", "web"),
+                        default="ttcp",
+                        help="application driving the stack")
+
+
+def _config(args, affinity):
+    return ExperimentConfig(
+        direction=args.direction,
+        message_size=args.size,
+        affinity=affinity,
+        n_connections=args.connections,
+        n_cpus=args.cpus,
+        warmup_ms=args.warmup_ms,
+        measure_ms=args.measure_ms,
+        seed=args.seed,
+        workload=getattr(args, "workload", "ttcp"),
+    )
+
+
+def _run(args, affinity):
+    cache = None if args.no_cache else DEFAULT_CACHE
+    return run_experiment(
+        _config(args, affinity),
+        cache=cache,
+        progress=lambda msg: print("[repro] %s" % msg, file=sys.stderr),
+    )
+
+
+def cmd_run(args):
+    result = _run(args, args.affinity)
+    print(result.summary())
+    rows = characterize(result)
+    print("\n%-10s %8s %7s %8s" % ("bin", "%cycles", "CPI", "MPI"))
+    for bin in STACK_BINS:
+        r = rows[bin]
+        print("%-10s %7.1f%% %7.2f %8.4f"
+              % (BIN_LABELS[bin], r.pct_cycles * 100, r.cpi, r.mpi))
+    print("IPIs: %s   migrations: %d   c2c transfers: %d"
+          % (result.ipis, result["migrations"], result["c2c_transfers"]))
+    return 0
+
+
+def cmd_compare(args):
+    modes = EXTENDED_MODES if args.extended else AFFINITY_MODES
+    print("%-6s %10s %10s %8s" % ("mode", "Mb/s", "GHz/Gbps", "util"))
+    baseline = None
+    for mode in modes:
+        result = _run(args, mode)
+        if mode == "none":
+            baseline = result.throughput_gbps
+        gain = (
+            result.throughput_gbps / baseline - 1.0 if baseline else 0.0
+        )
+        print("%-6s %10.0f %10.2f %7.0f%%   (%+.1f%% vs none)"
+              % (mode, result.throughput_mbps, result.cost_ghz_per_gbps,
+                 result.utilization * 100, gain * 100))
+    return 0
+
+
+def cmd_sweep(args):
+    cache = None if args.no_cache else DEFAULT_CACHE
+    sizes = tuple(args.sizes)
+    sweep = run_size_sweep(
+        args.direction,
+        sizes=sizes,
+        cache=cache,
+        progress=lambda msg: print("[repro] %s" % msg, file=sys.stderr),
+        n_connections=args.connections,
+        n_cpus=args.cpus,
+        warmup_ms=args.warmup_ms,
+        measure_ms=args.measure_ms,
+        seed=args.seed,
+    )
+    print(render_figure3(sweep, sizes, AFFINITY_MODES, args.direction))
+    print()
+    print(render_figure4(sweep, sizes, AFFINITY_MODES, args.direction))
+    return 0
+
+
+def cmd_table1(args):
+    none = _run(args, "none")
+    full = _run(args, "full")
+    label = "%s %d" % (args.direction.upper(), args.size)
+    print(render_table1(none, full, label))
+    return 0
+
+
+def cmd_table3(args):
+    none = _run(args, "none")
+    full = _run(args, "full")
+    label = "%s %d" % (args.direction.upper(), args.size)
+    print(render_table3(none, full, label))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-affinity",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    _add_common(p_run)
+    p_run.add_argument("--affinity", choices=AFFINITY_MODES, default="none")
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare all affinity modes")
+    _add_common(p_cmp)
+    p_cmp.add_argument("--extended", action="store_true",
+                       help="include the rotate/rss extension modes")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="regenerate Figures 3-4 for one direction"
+    )
+    _add_common(p_sweep)
+    p_sweep.add_argument("--sizes", type=int, nargs="+",
+                         default=[128, 1024, 8192, 65536])
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_t1 = sub.add_parser("table1", help="regenerate Table 1 for a corner")
+    _add_common(p_t1)
+    p_t1.set_defaults(func=cmd_table1)
+
+    p_t3 = sub.add_parser("table3", help="regenerate Table 3 for a corner")
+    _add_common(p_t3)
+    p_t3.set_defaults(func=cmd_table3)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

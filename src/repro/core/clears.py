@@ -1,0 +1,102 @@
+"""Table 4: per-CPU machine-clear hotspots.
+
+The paper's deepest dive: per-CPU Oprofile views of which functions
+accumulate machine-clear events.  Three regularities carry its IPI
+argument, and are checkable here:
+
+1. interrupt handlers (``IRQ0xnn_interrupt``) see similar clear counts
+   regardless of affinity mode -- interrupt *arrival* doesn't change,
+   only its destination;
+2. in the no-affinity mode, handlers appear only on CPU0 (the default
+   routing), and TCP engine functions on the *other* CPU accumulate
+   large clear counts (reschedule IPIs interrupting process context);
+3. under full affinity the handlers split across CPUs and engine-
+   function clears collapse.
+"""
+
+
+def top_clear_functions(result, cpu_index, n=10):
+    """``[(clears, pct_of_cpu, fn_name, bin)]`` sorted descending."""
+    from repro.cpu.events import MACHINE_CLEARS
+
+    fns = result.function_events(cpu_index=cpu_index)
+    total = sum(vec[MACHINE_CLEARS] for _, vec in fns.values()) or 1
+    rows = sorted(
+        (
+            (vec[MACHINE_CLEARS], bin, name)
+            for name, (bin, vec) in fns.items()
+            if vec[MACHINE_CLEARS] > 0
+        ),
+        key=lambda r: (-r[0], r[2]),
+    )
+    return [
+        (clears, 100.0 * clears / total, name, bin)
+        for clears, bin, name in rows[:n]
+    ]
+
+
+def irq_handler_clears(result, cpu_index=None):
+    """``{handler_name: clears}`` for the IRQ entry stubs."""
+    from repro.cpu.events import MACHINE_CLEARS
+
+    fns = result.function_events(cpu_index=cpu_index)
+    return {
+        name: vec[MACHINE_CLEARS]
+        for name, (bin, vec) in fns.items()
+        if name.startswith("IRQ0x")
+    }
+
+
+def engine_clears(result, cpu_index=None):
+    """Total machine clears attributed to TCP engine functions."""
+    from repro.cpu.events import MACHINE_CLEARS
+
+    fns = result.function_events(cpu_index=cpu_index)
+    return sum(
+        vec[MACHINE_CLEARS] for _, (bin, vec) in fns.items() if bin == "engine"
+    )
+
+
+def clears_assertions(result_none, result_full, n_cpus=2):
+    """The paper's Table 4 regularities as predicates."""
+    checks = {}
+
+    # (1) Per-handler clears are invariant to affinity (they track
+    # interrupt arrival, which affinity does not change).  Compare
+    # per-work rates across modes.
+    none_handlers = irq_handler_clears(result_none)
+    full_handlers = irq_handler_clears(result_full)
+    none_rate = sum(none_handlers.values()) / float(result_none.work_bits or 1)
+    full_rate = sum(full_handlers.values()) / float(result_full.work_bits or 1)
+    if none_rate > 0:
+        ratio = full_rate / none_rate
+        checks["handler clears per work similar across modes"] = (
+            0.5 < ratio < 2.0
+        )
+
+    # (2) No affinity: all handler clears on CPU0.
+    cpu0 = irq_handler_clears(result_none, cpu_index=0)
+    cpu1 = irq_handler_clears(result_none, cpu_index=1)
+    checks["no-aff: device IRQ clears only on CPU0"] = (
+        sum(cpu0.values()) > 0 and sum(cpu1.values()) == 0
+    )
+
+    # (3) Full affinity: handlers split across CPUs.
+    f0 = sum(irq_handler_clears(result_full, cpu_index=0).values())
+    f1 = sum(irq_handler_clears(result_full, cpu_index=1).values())
+    checks["full-aff: handler clears split across CPUs"] = f0 > 0 and f1 > 0
+
+    # (4) Engine clears per work collapse with affinity.
+    none_engine = engine_clears(result_none) / float(result_none.work_bits or 1)
+    full_engine = engine_clears(result_full) / float(result_full.work_bits or 1)
+    checks["engine clears collapse under full affinity"] = (
+        full_engine < none_engine
+    )
+
+    # (5) No affinity: the non-interrupt CPU's clears hit process
+    # context (engine functions), not handlers.
+    none_cpu1_engine = engine_clears(result_none, cpu_index=1)
+    checks["no-aff: CPU1 clears land in engine functions"] = (
+        none_cpu1_engine > sum(cpu1.values())
+    )
+    return checks

@@ -1,0 +1,381 @@
+"""Experiment runner: one ttcp run under one affinity mode.
+
+``run_experiment`` builds a fresh simulated machine, assembles the
+stack and workload, applies the affinity mode, warms up (cold caches
+and scheduler settling excluded, as in the paper's steady-state
+profiles), measures, and returns a serializable
+:class:`ExperimentResult`.
+
+Results are cached (in-process and optionally on disk) keyed by the
+full configuration -- a full Figure 3 sweep is 56 runs of a
+cycle-level simulation, and every benchmark and example reuses them.
+"""
+
+import hashlib
+import json
+import os
+
+from repro.apps.iscsi import IscsiTargetWorkload
+from repro.apps.ttcp import TtcpWorkload
+from repro.apps.webserve import WebServerWorkload
+from repro.cpu.events import CYCLES, EVENT_NAMES, N_EVENTS
+from repro.cpu.function import BINS
+from repro.cpu.params import CostModel
+from repro.kernel.machine import Machine
+from repro.kernel.scheduler import SchedulerParams
+from repro.net.params import NetParams
+from repro.net.stack import NetworkStack
+from repro.core.modes import apply_affinity
+
+MS = 2_000_000  # cycles per millisecond at 2 GHz
+
+#: Paper transaction sizes (Figures 3/4 x-axis).
+PAPER_SIZES = (128, 256, 1024, 4096, 8192, 16384, 65536)
+
+
+class ExperimentConfig:
+    """Everything that identifies one run."""
+
+    def __init__(
+        self,
+        direction="tx",
+        message_size=65536,
+        affinity="none",
+        n_connections=8,
+        n_cpus=2,
+        warmup_ms=20,
+        measure_ms=30,
+        seed=3,
+        cost_overrides=None,
+        workload="ttcp",
+    ):
+        """``cost_overrides`` maps CostModel attribute names to values
+        (e.g. ``{"c2c_transfer": 600}``), for sensitivity studies.
+
+        ``workload`` selects the application driving the stack:
+        ``"ttcp"`` (the paper's; honours ``direction``), ``"iscsi"``
+        (request/response target) or ``"web"`` (connection churn)."""
+        if direction not in ("tx", "rx"):
+            raise ValueError("direction must be 'tx' or 'rx'")
+        if workload not in ("ttcp", "iscsi", "web"):
+            raise ValueError("unknown workload %r" % workload)
+        self.workload = workload
+        self.direction = direction
+        self.message_size = message_size
+        self.affinity = affinity
+        self.n_connections = n_connections
+        self.n_cpus = n_cpus
+        self.warmup_ms = warmup_ms
+        self.measure_ms = measure_ms
+        self.seed = seed
+        self.cost_overrides = dict(cost_overrides or {})
+
+    def to_dict(self):
+        return dict(
+            direction=self.direction,
+            message_size=self.message_size,
+            affinity=self.affinity,
+            n_connections=self.n_connections,
+            n_cpus=self.n_cpus,
+            warmup_ms=self.warmup_ms,
+            measure_ms=self.measure_ms,
+            seed=self.seed,
+            cost_overrides=self.cost_overrides,
+            workload=self.workload,
+        )
+
+    def key(self):
+        """Stable cache key."""
+        blob = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()[:20]
+
+    def label(self):
+        prefix = "" if self.workload == "ttcp" else self.workload + "-"
+        return "%s%s-%d-%s" % (
+            prefix, self.direction, self.message_size, self.affinity
+        )
+
+    def __repr__(self):
+        return "ExperimentConfig(%s)" % self.label()
+
+
+class ExperimentResult:
+    """Measured outputs of one run (plain data; JSON-serializable)."""
+
+    def __init__(self, data):
+        self._data = data
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_machine(cls, config, machine, stack, workload):
+        acct = machine.accounting
+        window = machine.window_cycles
+        total_bytes = workload.total_bytes()
+        bits = total_bytes * 8.0
+        busy = sum(c.busy_cycles for c in machine.cpus)
+
+        per_cpu_functions = {}
+        for cpu_index in range(machine.n_cpus):
+            fns = {}
+            for name, (spec, vec) in acct.per_function(
+                cpu_index=cpu_index, include_idle=True
+            ).items():
+                fns[name] = {"bin": spec.bin, "events": list(vec)}
+            per_cpu_functions[str(cpu_index)] = fns
+
+        bins = {b: list(v) for b, v in acct.per_bin().items()}
+
+        locks = {}
+        for conn in stack.connections:
+            lock = conn.sock.lock
+            locks[lock.name] = dict(
+                acquisitions=lock.acquisitions,
+                contended=lock.contended_acquisitions,
+                spin_cycles=lock.total_spin_cycles,
+                hold_cycles=lock.total_hold_cycles,
+            )
+        for nic in stack.nics:
+            lock = nic.tx_lock
+            locks[lock.name] = dict(
+                acquisitions=lock.acquisitions,
+                contended=lock.contended_acquisitions,
+                spin_cycles=lock.total_spin_cycles,
+                hold_cycles=lock.total_hold_cycles,
+            )
+
+        data = dict(
+            config=config.to_dict(),
+            window_cycles=window,
+            total_bytes=total_bytes,
+            messages=list(workload.messages_done),
+            throughput_gbps=(bits / (window / float(machine.hz)) / 1e9)
+            if window else 0.0,
+            busy_cycles=busy,
+            cost_ghz_per_gbps=(busy / bits) if bits else float("inf"),
+            per_cpu_utilization=[
+                machine.utilization(i) for i in range(machine.n_cpus)
+            ],
+            bins=bins,
+            per_cpu_functions=per_cpu_functions,
+            device_irqs=[
+                machine.procstat.total_device_interrupts(i)
+                for i in range(machine.n_cpus)
+            ],
+            ipis=[
+                machine.procstat.total_ipis(i) for i in range(machine.n_cpus)
+            ],
+            migrations=sum(t.migrations for t in machine.tasks),
+            wakeups=machine.scheduler.wakeups,
+            remote_wakeups=machine.scheduler.remote_wakeups,
+            locks=locks,
+            rx_drops=sum(n.rx_drops for n in stack.nics),
+            rto_fires=sum(c.rto_fires for c in stack.connections),
+            c2c_transfers=machine.memsys.c2c_transfers,
+            invalidations=machine.memsys.invalidations,
+        )
+        return cls(data)
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data)
+
+    def to_dict(self):
+        return self._data
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def config(self):
+        return self._data["config"]
+
+    @property
+    def throughput_gbps(self):
+        return self._data["throughput_gbps"]
+
+    @property
+    def throughput_mbps(self):
+        return self._data["throughput_gbps"] * 1000.0
+
+    @property
+    def cost_ghz_per_gbps(self):
+        return self._data["cost_ghz_per_gbps"]
+
+    @property
+    def utilization(self):
+        """Mean CPU utilization across processors."""
+        utils = self._data["per_cpu_utilization"]
+        return sum(utils) / len(utils)
+
+    @property
+    def per_cpu_utilization(self):
+        return list(self._data["per_cpu_utilization"])
+
+    @property
+    def window_cycles(self):
+        return self._data["window_cycles"]
+
+    @property
+    def total_bytes(self):
+        return self._data["total_bytes"]
+
+    @property
+    def work_bits(self):
+        return self._data["total_bytes"] * 8
+
+    @property
+    def ipis(self):
+        return list(self._data["ipis"])
+
+    @property
+    def device_irqs(self):
+        return list(self._data["device_irqs"])
+
+    @property
+    def locks(self):
+        return self._data["locks"]
+
+    def __getitem__(self, key):
+        return self._data[key]
+
+    def bin_vector(self, bin):
+        """Event vector for one functional bin."""
+        return list(self._data["bins"][bin])
+
+    def bin_event(self, bin, event_index):
+        return self._data["bins"][bin][event_index]
+
+    def stack_total(self, event_index):
+        """Event total over the seven stack bins (idle excluded)."""
+        return sum(
+            self._data["bins"][b][event_index]
+            for b in BINS
+            if b != "other"
+        )
+
+    def function_events(self, cpu_index=None):
+        """``{fn_name: (bin, events)}``, merged or per CPU."""
+        out = {}
+        cpus = (
+            [str(cpu_index)]
+            if cpu_index is not None
+            else list(self._data["per_cpu_functions"])
+        )
+        for cpu in cpus:
+            for name, rec in self._data["per_cpu_functions"][cpu].items():
+                if name in out:
+                    merged = out[name][1]
+                    for i in range(N_EVENTS):
+                        merged[i] += rec["events"][i]
+                else:
+                    out[name] = (rec["bin"], list(rec["events"]))
+        return out
+
+    def events_per_bit(self, bin, event_index):
+        """Event count per bit of goodput (the paper's per-work basis)."""
+        bits = self.work_bits
+        if not bits:
+            return 0.0
+        return self._data["bins"][bin][event_index] / float(bits)
+
+    def summary(self):
+        return (
+            "%s: %.0f Mb/s, %.2f GHz/Gbps, util=%s"
+            % (
+                ExperimentConfig(**self.config).label(),
+                self.throughput_mbps,
+                self.cost_ghz_per_gbps,
+                "/".join(
+                    "%.0f%%" % (u * 100) for u in self.per_cpu_utilization
+                ),
+            )
+        )
+
+
+def run_experiment(config, cache=None, progress=None):
+    """Run (or fetch from cache) one experiment."""
+    if cache is not None:
+        hit = cache.get(config)
+        if hit is not None:
+            return hit
+    if progress:
+        progress("running %s" % config.label())
+    machine = Machine(
+        n_cpus=config.n_cpus,
+        costs=CostModel(**config.cost_overrides),
+        sched_params=SchedulerParams(),
+        seed=config.seed,
+    )
+    stack_mode = {
+        "ttcp": config.direction,
+        "iscsi": "iscsi",
+        "web": "web",
+    }[config.workload]
+    stack = NetworkStack(
+        machine,
+        NetParams(),
+        n_connections=config.n_connections,
+        mode=stack_mode,
+        message_size=config.message_size,
+    )
+    if config.workload == "ttcp":
+        workload = TtcpWorkload(machine, stack, config.message_size)
+    elif config.workload == "iscsi":
+        workload = IscsiTargetWorkload(machine, stack, config.message_size)
+    else:
+        workload = WebServerWorkload(machine, stack, config.message_size)
+    tasks = workload.spawn_all()
+    apply_affinity(machine, stack, tasks, config.affinity)
+    machine.start()
+    stack.start_peers()
+    machine.run_for(config.warmup_ms * MS)
+    machine.reset_measurement()
+    machine.run_for(config.measure_ms * MS)
+    result = ExperimentResult.from_machine(config, machine, stack, workload)
+    if cache is not None:
+        cache.put(config, result)
+    return result
+
+
+class ResultCache:
+    """Two-level (memory + disk) cache of experiment results."""
+
+    def __init__(self, directory=None):
+        if directory is None:
+            directory = os.environ.get("REPRO_RESULTS_DIR", ".repro-results")
+        self.directory = directory
+        self._memory = {}
+
+    def _path(self, config):
+        return os.path.join(
+            self.directory, "%s-%s.json" % (config.label(), config.key())
+        )
+
+    def get(self, config):
+        key = config.key()
+        if key in self._memory:
+            return self._memory[key]
+        path = self._path(config)
+        if os.path.exists(path):
+            with open(path) as fh:
+                result = ExperimentResult.from_dict(json.load(fh))
+            self._memory[key] = result
+            return result
+        return None
+
+    def put(self, config, result):
+        self._memory[config.key()] = result
+        os.makedirs(self.directory, exist_ok=True)
+        with open(self._path(config), "w") as fh:
+            json.dump(result.to_dict(), fh)
+
+    def clear(self):
+        self._memory.clear()
+        if os.path.isdir(self.directory):
+            for name in os.listdir(self.directory):
+                if name.endswith(".json"):
+                    os.remove(os.path.join(self.directory, name))
+
+
+#: Module-level default cache shared by benchmarks and examples.
+DEFAULT_CACHE = ResultCache()

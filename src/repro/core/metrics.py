@@ -1,0 +1,87 @@
+"""Figure 3/4 machinery: throughput, utilization and cost sweeps.
+
+Figure 3 plots TX and RX bandwidth (lines) and CPU utilization (bars)
+against transaction size for the four affinity modes; Figure 4 plots
+the normalized cost, GHz/Gbps.  ``run_size_sweep`` produces every
+(size, mode) point; the series helpers shape them for reporting.
+"""
+
+from repro.core.experiment import (
+    PAPER_SIZES,
+    ExperimentConfig,
+    run_experiment,
+)
+from repro.core.modes import AFFINITY_MODES
+
+
+def run_size_sweep(
+    direction,
+    sizes=PAPER_SIZES,
+    modes=AFFINITY_MODES,
+    cache=None,
+    progress=None,
+    **config_kwargs
+):
+    """Run the full (size x mode) grid for one direction.
+
+    Returns ``{(size, mode): ExperimentResult}``.
+    """
+    results = {}
+    for size in sizes:
+        for mode in modes:
+            config = ExperimentConfig(
+                direction=direction,
+                message_size=size,
+                affinity=mode,
+                **config_kwargs
+            )
+            results[(size, mode)] = run_experiment(
+                config, cache=cache, progress=progress
+            )
+    return results
+
+
+def bandwidth_series(sweep, sizes, modes=AFFINITY_MODES):
+    """Figure 3 lines: ``{mode: [Mb/s per size]}``."""
+    return {
+        mode: [sweep[(size, mode)].throughput_mbps for size in sizes]
+        for mode in modes
+    }
+
+
+def utilization_series(sweep, sizes, modes=AFFINITY_MODES):
+    """Figure 3 bars: ``{mode: [mean CPU utilization per size]}``."""
+    return {
+        mode: [sweep[(size, mode)].utilization for size in sizes]
+        for mode in modes
+    }
+
+
+def cost_series(sweep, sizes, modes=AFFINITY_MODES):
+    """Figure 4: ``{mode: [GHz/Gbps per size]}``."""
+    return {
+        mode: [sweep[(size, mode)].cost_ghz_per_gbps for size in sizes]
+        for mode in modes
+    }
+
+
+def throughput_gain(sweep, size, mode, baseline="none"):
+    """Fractional throughput gain of ``mode`` over ``baseline``."""
+    base = sweep[(size, baseline)].throughput_gbps
+    if base <= 0:
+        return 0.0
+    return sweep[(size, mode)].throughput_gbps / base - 1.0
+
+
+def cost_reduction(sweep, size, mode, baseline="none"):
+    """Fractional cost (GHz/Gbps) reduction of ``mode`` vs ``baseline``."""
+    base = sweep[(size, baseline)].cost_ghz_per_gbps
+    if base <= 0:
+        return 0.0
+    return 1.0 - sweep[(size, mode)].cost_ghz_per_gbps / base
+
+
+def best_gain(sweep, sizes, mode, baseline="none"):
+    """The largest throughput gain of ``mode`` across sizes (the
+    paper's "up to 25% / up to 29%" headline numbers)."""
+    return max(throughput_gain(sweep, size, mode, baseline) for size in sizes)

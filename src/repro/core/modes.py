@@ -1,0 +1,62 @@
+"""The paper's four affinity modes and how they are applied.
+
+========  ==========================  ===============================
+mode      processes                   interrupts
+========  ==========================  ===============================
+``none``  OS scheduler decides        all NIC IRQs -> CPU0 (default)
+``proc``  ttcp *i* pinned             all NIC IRQs -> CPU0
+``irq``   OS scheduler decides        NIC IRQs spread across CPUs
+``full``  ttcp *i* pinned to the CPU  NIC IRQs spread across CPUs
+          of its NIC's interrupt
+========  ==========================  ===============================
+
+Pinning follows the paper's layout: with 8 connections on 2 CPUs,
+connections 1-4 belong to CPU0 and 5-8 to CPU1, and in ``full`` mode
+each process shares a CPU with its own NIC's interrupt.
+"""
+
+AFFINITY_MODES = ("none", "proc", "irq", "full")
+
+#: Extension modes beyond the paper's four (see apply_affinity):
+#: ``rotate`` -- the Linux-2.6 rotating interrupt distribution the
+#: paper's related-work section describes; ``rss`` -- the dynamic
+#: flow-steering NICs its conclusion anticipates.
+EXTENDED_MODES = AFFINITY_MODES + ("rotate", "rss")
+
+
+def pin_plan(n_items, n_cpus):
+    """Block-partition ``n_items`` across ``n_cpus`` (paper layout)."""
+    per_cpu = -(-n_items // n_cpus)
+    return [min(i // per_cpu, n_cpus - 1) for i in range(n_items)]
+
+
+def apply_affinity(machine, stack, tasks, mode):
+    """Configure interrupt and process placement for ``mode``.
+
+    Returns ``{"irq": {vector: cpu}, "proc": {task_name: cpu}}`` for
+    reporting; entries are empty for unpinned dimensions.
+    """
+    if mode not in EXTENDED_MODES:
+        raise ValueError(
+            "unknown affinity mode %r (one of %s)" % (mode, EXTENDED_MODES)
+        )
+    applied = {"irq": {}, "proc": {}, "controller": None}
+    if mode in ("irq", "full"):
+        vectors = [nic.vector for nic in stack.nics]
+        applied["irq"] = machine.ioapic.distribute(vectors)
+    if mode in ("proc", "full"):
+        plan = pin_plan(len(tasks), machine.n_cpus)
+        for task, cpu in zip(tasks, plan):
+            machine.sched_setaffinity(task, 1 << cpu)
+            applied["proc"][task.name] = cpu
+    if mode == "rotate":
+        from repro.kernel.interrupts import IrqRotator
+
+        applied["controller"] = IrqRotator(
+            machine, [nic.vector for nic in stack.nics]
+        )
+    if mode == "rss":
+        from repro.net.rss import RssSteering
+
+        applied["controller"] = RssSteering(machine, stack, tasks)
+    return applied

@@ -1,0 +1,91 @@
+"""Multi-seed replication: error bars for the headline numbers.
+
+The paper reports single measurements from long hardware runs.  The
+simulator's runs are shorter and seed-dependent (scheduler tie-breaks,
+coalescing phase), so any claim worth making should survive across
+seeds.  ``replicate`` runs one configuration under several seeds and
+summarizes; ``gain_statistics`` does the same for a mode-vs-baseline
+comparison.
+"""
+
+import math
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+
+
+class Summary:
+    """Mean / standard deviation / extremes over replicated runs."""
+
+    __slots__ = ("values", "mean", "stdev", "minimum", "maximum")
+
+    def __init__(self, values):
+        if not values:
+            raise ValueError("no values to summarize")
+        self.values = list(values)
+        n = len(values)
+        self.mean = sum(values) / n
+        if n > 1:
+            var = sum((v - self.mean) ** 2 for v in values) / (n - 1)
+            self.stdev = math.sqrt(var)
+        else:
+            self.stdev = 0.0
+        self.minimum = min(values)
+        self.maximum = max(values)
+
+    @property
+    def cv(self):
+        """Coefficient of variation (stdev / mean)."""
+        return self.stdev / self.mean if self.mean else 0.0
+
+    def __repr__(self):
+        return "Summary(mean=%.4g, stdev=%.2g, n=%d)" % (
+            self.mean, self.stdev, len(self.values))
+
+
+def replicate(config, seeds=(3, 5, 7, 11), metric="throughput_gbps",
+              cache=None, progress=None):
+    """Run ``config`` under each seed; returns a :class:`Summary`.
+
+    ``metric`` is an :class:`ExperimentResult` attribute name.
+    """
+    values = []
+    base = config.to_dict()
+    for seed in seeds:
+        base["seed"] = seed
+        result = run_experiment(
+            ExperimentConfig(**base), cache=cache, progress=progress
+        )
+        values.append(getattr(result, metric))
+    return Summary(values)
+
+
+def gain_statistics(direction, message_size, mode, baseline="none",
+                    seeds=(3, 5, 7, 11), cache=None, progress=None,
+                    **config_kwargs):
+    """Throughput gain of ``mode`` over ``baseline``, per seed.
+
+    Returns a :class:`Summary` of the fractional gains, so callers can
+    assert e.g. that the affinity benefit is positive for *every* seed
+    rather than on average.
+    """
+    gains = []
+    for seed in seeds:
+        results = {}
+        for affinity in (baseline, mode):
+            results[affinity] = run_experiment(
+                ExperimentConfig(
+                    direction=direction,
+                    message_size=message_size,
+                    affinity=affinity,
+                    seed=seed,
+                    **config_kwargs
+                ),
+                cache=cache,
+                progress=progress,
+            )
+        gains.append(
+            results[mode].throughput_gbps
+            / results[baseline].throughput_gbps
+            - 1.0
+        )
+    return Summary(gains)

@@ -1,0 +1,225 @@
+"""Text renderers for every table and figure the paper reports.
+
+Each ``render_*`` returns a monospace string; the benchmark harness
+prints them so that running the benches regenerates the paper's
+artefacts side by side with the qualitative checks.
+"""
+
+from repro.analysis.tables import TextTable, format_pct
+from repro.core.characterization import BIN_LABELS, STACK_BINS, characterize
+from repro.core.clears import top_clear_functions
+from repro.core.correlation import critical_value
+from repro.core.indicators import impact_indicators
+from repro.core.lockstudy import SPINLOCK_DISASSEMBLY
+from repro.core.speedup import improvement_table
+
+
+def render_figure3(sweep, sizes, modes, direction):
+    """Figure 3: bandwidth and CPU utilization vs transaction size."""
+    headers = ["size"]
+    for mode in modes:
+        headers.append("%s Mb/s" % mode)
+    for mode in modes:
+        headers.append("%s util" % mode)
+    table = TextTable(
+        headers,
+        title="Figure 3 (%s): bandwidth and CPU utilization vs size"
+        % direction.upper(),
+    )
+    for size in sizes:
+        cells = [str(size)]
+        for mode in modes:
+            cells.append("%.0f" % sweep[(size, mode)].throughput_mbps)
+        for mode in modes:
+            cells.append(format_pct(sweep[(size, mode)].utilization, 0))
+        table.add_row(*cells)
+    return table.render()
+
+
+def render_figure4(sweep, sizes, modes, direction):
+    """Figure 4: GHz/Gbps cost vs transaction size."""
+    table = TextTable(
+        ["size"] + ["%s" % m for m in modes],
+        title="Figure 4 (%s): cost in GHz/Gbps" % direction.upper(),
+    )
+    for size in sizes:
+        table.add_row(
+            str(size),
+            *("%.2f" % sweep[(size, mode)].cost_ghz_per_gbps for mode in modes)
+        )
+    return table.render()
+
+
+def render_table1(result_none, result_full, label):
+    """Table 1: per-bin characterization, no vs full affinity."""
+    rows_none = characterize(result_none)
+    rows_full = characterize(result_full)
+    table = TextTable(
+        ["bin", "%cyc no", "%cyc full", "CPI no", "CPI full",
+         "MPI no", "MPI full", "%br no", "%br full",
+         "%misp no", "%misp full"],
+        title="Table 1 (%s): baseline characterization" % label,
+    )
+    for bin in STACK_BINS + ("overall",):
+        a, b = rows_none[bin], rows_full[bin]
+        table.add_row(
+            BIN_LABELS.get(bin, "Overall"),
+            format_pct(a.pct_cycles), format_pct(b.pct_cycles),
+            "%.2f" % a.cpi, "%.2f" % b.cpi,
+            "%.4f" % a.mpi, "%.4f" % b.mpi,
+            format_pct(a.pct_branches), format_pct(b.pct_branches),
+            format_pct(a.pct_mispredicted, 2), format_pct(b.pct_mispredicted, 2),
+        )
+    return table.render()
+
+
+def render_table2(comparison):
+    """Table 2: the spinlock study -- implementation plus measurement."""
+    lines = ["Table 2: spinlock implementation (as modelled)"]
+    for addr, instr, comment in SPINLOCK_DISASSEMBLY:
+        lines.append("  %-9s %-28s ; %s" % (addr, instr, comment))
+    lines.append("")
+    table = TextTable(
+        ["metric", "no aff", "full aff"],
+        title="Measured lock-bin behaviour",
+    )
+    table.add_row(
+        "branches per Mbit",
+        "%.0f" % (comparison.branches_per_bit("none") * 1e6),
+        "%.0f" % (comparison.branches_per_bit("full") * 1e6),
+    )
+    table.add_row(
+        "mispredict ratio",
+        format_pct(comparison.mispredict_ratio("none"), 2),
+        format_pct(comparison.mispredict_ratio("full"), 2),
+    )
+    table.add_row(
+        "contended acquisitions",
+        format_pct(comparison.contention("none"), 2),
+        format_pct(comparison.contention("full"), 2),
+    )
+    table.add_row(
+        "spin cycles per Mbit",
+        "%.0f" % (comparison.spin_cycles_per_bit("none") * 1e6),
+        "%.0f" % (comparison.spin_cycles_per_bit("full") * 1e6),
+    )
+    table.add_row(
+        "full-aff branches / no-aff",
+        "", format_pct(comparison.branch_collapse_ratio()),
+    )
+    lines.append(table.render())
+    return "\n".join(lines)
+
+
+def render_figure5(labeled_results, costs):
+    """Figure 5: impact indicators for several runs side by side."""
+    labels = [label for label, _ in labeled_results]
+    table = TextTable(
+        ["event", "cost"] + labels,
+        title="Figure 5: performance impact indicators (% of run time)",
+    )
+    columns = {
+        label: impact_indicators(result, costs)
+        for label, result in labeled_results
+    }
+    n_rows = len(columns[labels[0]])
+    for i in range(n_rows):
+        name, unit, _ = columns[labels[0]][i]
+        cells = [name, ("%.2f" % unit) if unit < 1 else "%d" % unit]
+        for label in labels:
+            cells.append(format_pct(columns[label][i][2]))
+        table.add_row(*cells)
+    return table.render()
+
+
+def render_table3(result_none, result_full, label):
+    """Table 3: per-bin improvements in cycles / LLC / clears."""
+    rows = improvement_table(result_none, result_full)
+    table = TextTable(
+        ["bin", "%time", "CPI", "MPIx1000", "cycles", "LLC", "clears"],
+        title="Table 3 (%s): improvements no->full affinity" % label,
+    )
+    for bin in STACK_BINS + ("overall",):
+        r = rows[bin]
+        table.add_row(
+            BIN_LABELS.get(bin, "Overall"),
+            format_pct(r.pct_time),
+            "%.1f" % r.cpi,
+            "%.1f" % (r.mpi * 1000.0),
+            format_pct(r.cycles),
+            format_pct(r.llc),
+            format_pct(r.clears),
+        )
+    return table.render()
+
+
+def render_table4(result, label, n_cpus=2, top_n=8):
+    """Table 4: per-CPU functions with the most machine clears."""
+    blocks = ["Table 4 (%s): machine-clear hotspots" % label]
+    for cpu in range(n_cpus):
+        table = TextTable(
+            ["clears", "%", "symbol", "bin"], title="CPU%d" % cpu
+        )
+        for clears, pct, name, bin in top_clear_functions(result, cpu, top_n):
+            table.add_row(str(clears), "%.2f" % pct, name, bin)
+        blocks.append(table.render())
+    return "\n\n".join(blocks)
+
+
+def render_table5(correlations, exact=True):
+    """Table 5: Spearman rank correlations."""
+    table = TextTable(
+        ["corner", "rho(LLC)", "rho(clears)", "significant"],
+        title="Table 5: rank correlation of cycle improvements vs events",
+    )
+    for corr in correlations:
+        table.add_row(
+            corr.label,
+            "%.2f" % corr.rho_llc,
+            "%.2f" % corr.rho_clears,
+            "yes" if corr.significant_llc(exact) and
+            corr.significant_clears(exact) else "no",
+        )
+    footer = (
+        "critical value (p=0.05, one-tailed, n=%d): %.3f exact"
+        " (paper printed %.3f)"
+        % (correlations[0].n if correlations else 7,
+           critical_value(exact=True), critical_value(exact=False))
+    )
+    return table.render() + "\n" + footer
+
+
+def render_function_profile(result, n=20, cpu_index=None, event=None):
+    """An ``opannotate``-style per-function table for one run.
+
+    Sorted by the chosen event (cycles by default); shows each
+    function's bin, share, CPI and MPI -- the drill-down view the
+    paper's section 3 argues is *less* useful than bins, provided here
+    for exploration.
+    """
+    from repro.cpu.events import CYCLES, INSTRUCTIONS, LLC_MISSES
+
+    event = CYCLES if event is None else event
+    fns = result.function_events(cpu_index=cpu_index)
+    total = sum(vec[event] for _, vec in fns.values()) or 1
+    rows = sorted(fns.items(), key=lambda kv: -kv[1][1][event])[:n]
+    table = TextTable(
+        ["function", "bin", "%", "CPI", "MPI"],
+        title="Per-function profile%s"
+        % ("" if cpu_index is None else " (CPU%d)" % cpu_index),
+    )
+    for name, (bin, vec) in rows:
+        instr = vec[INSTRUCTIONS]
+        table.add_row(
+            name,
+            bin,
+            format_pct(vec[event] / float(total)),
+            "%.2f" % (vec[CYCLES] / instr) if instr else "-",
+            "%.4f" % (vec[LLC_MISSES] / instr) if instr else "-",
+        )
+    return table.render()
+
+
+def render_run_summary(result):
+    """One-line experiment summary."""
+    return result.summary()

@@ -1,0 +1,96 @@
+"""Set-associative cache with true-LRU replacement.
+
+Tags are full cache-line numbers (byte address / 64); the set index is
+the low bits of the line number.  Each set is a short Python list kept
+in MRU-first order -- ``list.index`` / ``insert`` on lists of at most
+``ways`` (4-16) elements run in C and beat any fancier structure at
+these sizes, and this is the hottest code in the whole simulator.
+"""
+
+
+class SetAssocCache:
+    """One level of a private cache hierarchy."""
+
+    __slots__ = ("geometry", "_mask", "_sets", "_ways", "hits", "misses")
+
+    def __init__(self, geometry):
+        self.geometry = geometry
+        n_sets = geometry.n_sets
+        if n_sets & (n_sets - 1):
+            raise ValueError(
+                "%s: set count %d is not a power of two" % (geometry.name, n_sets)
+            )
+        self._mask = n_sets - 1
+        self._ways = geometry.ways
+        self._sets = [[] for _ in range(n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line):
+        """Look up ``line``; on miss, fill it (evicting LRU).
+
+        Returns ``True`` on hit.  The fill-on-miss policy matches an
+        allocate-on-read/write cache; victims are dropped silently
+        (writeback costs are folded into the miss penalties of the
+        cost model).
+        """
+        bucket = self._sets[line & self._mask]
+        try:
+            pos = bucket.index(line)
+        except ValueError:
+            self.misses += 1
+            bucket.insert(0, line)
+            if len(bucket) > self._ways:
+                bucket.pop()
+            return False
+        self.hits += 1
+        if pos:
+            del bucket[pos]
+            bucket.insert(0, line)
+        return True
+
+    def probe(self, line):
+        """Non-destructive lookup: ``True`` if ``line`` is resident."""
+        return line in self._sets[line & self._mask]
+
+    def fill(self, line):
+        """Insert ``line`` as MRU without counting a hit or miss."""
+        bucket = self._sets[line & self._mask]
+        if line in bucket:
+            return
+        bucket.insert(0, line)
+        if len(bucket) > self._ways:
+            bucket.pop()
+
+    def invalidate(self, line):
+        """Drop ``line`` if resident (coherence invalidation / DMA)."""
+        bucket = self._sets[line & self._mask]
+        try:
+            bucket.remove(line)
+        except ValueError:
+            pass
+
+    def flush(self):
+        """Empty the cache (used by tests and warm-up control)."""
+        for bucket in self._sets:
+            del bucket[:]
+
+    def resident_lines(self):
+        """All resident line numbers (introspection; not a hot path)."""
+        lines = []
+        for bucket in self._sets:
+            lines.extend(bucket)
+        return lines
+
+    def occupancy(self):
+        """Fraction of capacity currently filled."""
+        filled = sum(len(bucket) for bucket in self._sets)
+        capacity = len(self._sets) * self._ways
+        return filled / float(capacity)
+
+    def __repr__(self):
+        return "SetAssocCache(%r, hits=%d, misses=%d)" % (
+            self.geometry,
+            self.hits,
+            self.misses,
+        )

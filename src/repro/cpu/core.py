@@ -1,0 +1,334 @@
+"""The simulated CPU: charging work against the microarchitecture.
+
+:meth:`Cpu.charge` is the single point where simulated kernel work is
+turned into cycles.  Given a function spec, a dynamic instruction
+count and the byte ranges read/written, it drives instruction fetch
+through the trace cache, translation through the TLBs, data through
+the private three-level cache hierarchy (with coherence against the
+other CPUs via the shared :class:`~repro.mem.system.MemorySystem`),
+and branches through the predictor model; the resulting penalties are
+summed with the retire-width floor and the function's dependency
+stalls.  Every event is simultaneously pushed to the profiling sink,
+attributed to ``(cpu, function)`` exactly like Oprofile attributes PMU
+samples in the paper.
+"""
+
+from repro.cpu.branch import BranchPredictor
+from repro.cpu.cache import SetAssocCache
+from repro.cpu.tlb import Tlb
+from repro.cpu.events import (
+    BRANCHES,
+    BR_MISPREDICTS,
+    CYCLES,
+    DTLB_WALKS,
+    INSTRUCTIONS,
+    ITLB_WALKS,
+    L2_HITS,
+    L3_HITS,
+    LLC_MISSES,
+    MACHINE_CLEARS,
+    TC_MISSES,
+    zero_counts,
+)
+from repro.mem.layout import CACHE_LINE, PAGE_SIZE
+
+
+class Cpu:
+    """One processor of the simulated SMP."""
+
+    def __init__(self, index, params, costs, memsys, sink, name=None,
+                 share_with=None, domain=None):
+        """
+        ``share_with`` makes this CPU a HyperThreading sibling of
+        another: the two logical processors share one physical core's
+        caches, TLBs, trace cache and branch predictor (the P4 Xeon's
+        SMT arrangement), and belong to one coherence ``domain``.
+        """
+        self.index = index
+        self.name = name or ("CPU%d" % index)
+        self.params = params
+        self.costs = costs
+        self.memsys = memsys
+        self.sink = sink
+        #: Coherence identity: which physical cache hierarchy we use.
+        self.domain = domain if domain is not None else index
+        #: HT sibling (set for both halves of a pair), and the
+        #: sibling's recent busy fraction (updated by the machine tick)
+        #: used to model execution-resource contention.
+        self.sibling = None
+        self.recent_load = 0.0
+        if share_with is None:
+            self.l1 = SetAssocCache(params.l1)
+            self.l2 = SetAssocCache(params.l2)
+            self.l3 = SetAssocCache(params.l3)
+            self.itlb = Tlb(params.itlb)
+            self.dtlb = Tlb(params.dtlb)
+            self.trace_cache = SetAssocCache(params.trace_cache)
+            self.branch_predictor = BranchPredictor(params.bp_capacity)
+        else:
+            self.l1 = share_with.l1
+            self.l2 = share_with.l2
+            self.l3 = share_with.l3
+            self.itlb = share_with.itlb
+            self.dtlb = share_with.dtlb
+            self.trace_cache = share_with.trace_cache
+            self.branch_predictor = share_with.branch_predictor
+            self.domain = share_with.domain
+            self.sibling = share_with
+            share_with.sibling = self
+        #: Local clock in cycles.  The machine layer keeps it in sync
+        #: with the global event engine.
+        self.now = 0
+        #: Cycles spent doing work (charges + interrupt flushes); the
+        #: complement of idle time, for CPU-utilization reporting.
+        self.busy_cycles = 0
+        #: Per-CPU event totals (same layout as the sink's vectors).
+        self.totals = zero_counts()
+        #: The function most recently executed.
+        self.last_spec = None
+        #: Cycle-weighted sample of recently-executing functions: the
+        #: spec that crossed the most recent sampling boundary.  This
+        #: is the attribution target for asynchronous machine clears --
+        #: like Oprofile's skid, a clear lands on whatever code was
+        #: (statistically) on the CPU, weighted by time, not by call
+        #: frequency.
+        self.skid_spec = None
+        self._skid_acc = 0
+        memsys.attach_cpu(self)
+
+    # ------------------------------------------------------------------
+    # Hot path.
+    # ------------------------------------------------------------------
+
+    def charge(self, spec, instructions, reads=(), writes=(), extra_cycles=0,
+               branches=None, mispredicts=None):
+        """Execute one invocation of ``spec`` and return its cycle cost.
+
+        Parameters
+        ----------
+        spec:
+            The :class:`~repro.cpu.function.FunctionSpec` being run.
+        instructions:
+            Dynamic instructions retired by this invocation.
+        reads / writes:
+            Iterables of ``(addr, size)`` byte ranges touched.
+        extra_cycles:
+            Additional stall cycles decided by the caller (e.g. an I/O
+            register read in a driver).
+        branches / mispredicts:
+            Overrides for the spec-derived branch counts; used by the
+            spinlock code, whose branch behaviour is data-dependent
+            (Table 2 of the paper).
+        """
+        costs = self.costs
+        self.last_spec = spec
+        llc_misses = 0
+        l2_hits = 0
+        l3_hits = 0
+        penalty = 0
+
+        # Instruction fetch through the trace cache.
+        tc_misses = 0
+        tc_access = self.trace_cache.access
+        for line in spec.fetch_lines(instructions):
+            if not tc_access(line):
+                tc_misses += 1
+        itlb_walks = 0
+        if not self.itlb.access(spec.code_page):
+            itlb_walks = 1
+        if tc_misses:
+            penalty += tc_misses * costs.tc_miss
+        if itlb_walks:
+            penalty += costs.itlb_walk
+
+        # Data accesses.
+        dtlb_walks = 0
+        if reads:
+            for addr, size in reads:
+                if size <= 0:
+                    continue
+                dtlb_walks += self.dtlb.access_range(addr, size)
+                miss, l2h, l3h, cyc = self._access_range(addr, size, False)
+                llc_misses += miss
+                l2_hits += l2h
+                l3_hits += l3h
+                penalty += cyc
+        if writes:
+            for addr, size in writes:
+                if size <= 0:
+                    continue
+                dtlb_walks += self.dtlb.access_range(addr, size)
+                miss, l2h, l3h, cyc = self._access_range(addr, size, True)
+                llc_misses += miss
+                l2_hits += l2h
+                l3_hits += l3h
+                penalty += cyc
+        if dtlb_walks:
+            penalty += dtlb_walks * costs.dtlb_walk
+
+        # Branches.
+        if branches is None:
+            branches = int(instructions * spec.branch_frac)
+        if mispredicts is None:
+            mispredicts = self.branch_predictor.predict(
+                spec.name, branches, spec.mispredict_rate
+            )
+        else:
+            self.branch_predictor.mispredicts += mispredicts
+        if mispredicts:
+            penalty += mispredicts * costs.br_mispredict
+
+        cycles = (
+            -(-instructions // costs.retire_width)
+            + int(instructions * spec.stall_per_instr)
+            + spec.stall_per_call
+            + extra_cycles
+            + penalty
+        )
+        if self.sibling is not None and self.sibling.recent_load > 0.0:
+            # SMT contention: a busy sibling steals issue slots and
+            # cache ports; slow down in proportion to its load.
+            cycles += int(
+                cycles * costs.smt_penalty * self.sibling.recent_load
+            )
+
+        self.now += cycles
+        self.busy_cycles += cycles
+        self._skid_acc += cycles
+        if self._skid_acc >= 1999:  # sampling period, coprime to quanta
+            self._skid_acc %= 1999
+            self.skid_spec = spec
+
+        totals = self.totals
+        totals[CYCLES] += cycles
+        totals[INSTRUCTIONS] += instructions
+        totals[BRANCHES] += branches
+        totals[BR_MISPREDICTS] += mispredicts
+        totals[LLC_MISSES] += llc_misses
+        totals[L2_HITS] += l2_hits
+        totals[L3_HITS] += l3_hits
+        totals[TC_MISSES] += tc_misses
+        totals[ITLB_WALKS] += itlb_walks
+        totals[DTLB_WALKS] += dtlb_walks
+
+        self.sink.record(
+            self.index,
+            spec,
+            cycles,
+            instructions,
+            branches,
+            mispredicts,
+            llc_misses,
+            l2_hits,
+            l3_hits,
+            tc_misses,
+            itlb_walks,
+            dtlb_walks,
+            0,
+        )
+        return cycles
+
+    def _access_range(self, addr, size, is_write):
+        """Walk one byte range through the hierarchy at line granularity."""
+        costs = self.costs
+        memsys = self.memsys
+        index = self.domain
+        mybit = 1 << index
+        directory = memsys.directory
+        l1_access = self.l1.access
+        l2_access = self.l2.access
+        l3_access = self.l3.access
+        l1_fill = self.l1.fill
+        l2_fill = self.l2.fill
+
+        llc_misses = 0
+        l2_hits = 0
+        l3_hits = 0
+        cycles = 0
+
+        first = addr // CACHE_LINE
+        last = (addr + size - 1) // CACHE_LINE
+        for line in range(first, last + 1):
+            if l1_access(line):
+                pass
+            elif l2_access(line):
+                l2_hits += 1
+                cycles += costs.l2_hit
+                l1_fill(line)
+            elif l3_access(line):
+                l3_hits += 1
+                cycles += costs.l3_hit
+                l2_fill(line)
+                l1_fill(line)
+            else:
+                llc_misses += 1
+                if memsys.read_miss(line, index):
+                    cycles += costs.c2c_transfer
+                elif is_write:
+                    cycles += costs.llc_store_miss
+                else:
+                    cycles += costs.llc_miss
+                cycles += memsys.bus_delay  # shared-FSB queuing
+                l2_fill(line)
+                l1_fill(line)
+            if is_write:
+                entry = directory.get(line)
+                if entry is None or entry[0] != mybit or entry[1] != index:
+                    memsys.make_exclusive(line, index)
+        return llc_misses, l2_hits, l3_hits, cycles
+
+    # ------------------------------------------------------------------
+    # Asynchronous events.
+    # ------------------------------------------------------------------
+
+    def machine_clear(self, attr_spec, counted, flush=True):
+        """Apply a pipeline clear caused by an asynchronous interruption.
+
+        ``counted`` is what the (noisy) MACHINE_CLEAR PMU event records;
+        the performance charge is one pipeline flush when ``flush`` is
+        true.  Events are attributed to ``attr_spec`` -- the interrupted
+        function for IPIs, the handler for device interrupts -- which is
+        exactly the "skid" attribution the paper works around in its
+        Table 4 analysis.
+        """
+        cycles = self.costs.machine_clear if flush else 0
+        if cycles:
+            self.now += cycles
+            self.busy_cycles += cycles
+        totals = self.totals
+        totals[CYCLES] += cycles
+        totals[MACHINE_CLEARS] += counted
+        self.sink.record(
+            self.index, attr_spec, cycles, 0, 0, 0, 0, 0, 0, 0, 0, 0, counted
+        )
+        return cycles
+
+    def advance_idle(self, cycles):
+        """Let the local clock follow global time while idle-polling."""
+        if cycles > 0:
+            self.now += cycles
+
+    def invalidate_line(self, line):
+        """Coherence invalidation from the directory or DMA."""
+        self.l1.invalidate(line)
+        self.l2.invalidate(line)
+        self.l3.invalidate(line)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def utilization(self, total_cycles=None):
+        """Busy fraction of this CPU over ``total_cycles`` (or ``now``)."""
+        denom = total_cycles if total_cycles else self.now
+        if denom <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / float(denom))
+
+    def touch_pages_instr(self, pages):
+        """Pre-walk ITLB entries (used when warming code deliberately)."""
+        for page in pages:
+            self.itlb.access(page)
+
+    def __repr__(self):
+        return "Cpu(%s, now=%d, busy=%d)" % (self.name, self.now, self.busy_cycles)

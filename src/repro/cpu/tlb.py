@@ -1,0 +1,70 @@
+"""Translation lookaside buffers.
+
+Modelled fully associative with true LRU, like the P4's small split
+TLBs.  A miss costs a hardware page walk (priced by the cost model);
+there is no second-level TLB on this generation.
+"""
+
+from repro.mem.layout import PAGE_SIZE
+
+
+class Tlb:
+    """A fully-associative LRU TLB over page numbers."""
+
+    __slots__ = ("geometry", "_entries", "_capacity", "hits", "walks")
+
+    def __init__(self, geometry):
+        self.geometry = geometry
+        self._entries = []
+        self._capacity = geometry.entries
+        self.hits = 0
+        self.walks = 0
+
+    def access(self, page):
+        """Translate ``page``; returns ``True`` on hit, filling on miss."""
+        entries = self._entries
+        try:
+            pos = entries.index(page)
+        except ValueError:
+            self.walks += 1
+            entries.insert(0, page)
+            if len(entries) > self._capacity:
+                entries.pop()
+            return False
+        self.hits += 1
+        if pos:
+            del entries[pos]
+            entries.insert(0, page)
+        return True
+
+    def access_range(self, addr, size):
+        """Translate every page of ``[addr, addr+size)``; returns walk count."""
+        if size <= 0:
+            return 0
+        first = addr // PAGE_SIZE
+        last = (addr + size - 1) // PAGE_SIZE
+        walks = 0
+        for page in range(first, last + 1):
+            if not self.access(page):
+                walks += 1
+        return walks
+
+    def flush(self):
+        """Drop all translations (context switch with address-space change)."""
+        del self._entries[:]
+
+    def flush_below(self, boundary_page):
+        """Drop translations for pages below ``boundary_page``.
+
+        Models a CR3 switch on a kernel with global pages enabled:
+        user-space translations die, kernel (global-bit) translations
+        survive.
+        """
+        self._entries = [p for p in self._entries if p >= boundary_page]
+
+    def resident_pages(self):
+        """Currently cached page numbers, MRU first."""
+        return list(self._entries)
+
+    def __repr__(self):
+        return "Tlb(%r, hits=%d, walks=%d)" % (self.geometry, self.hits, self.walks)

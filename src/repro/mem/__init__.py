@@ -1,0 +1,31 @@
+"""Physical memory model: address space, objects, and the coherent
+memory system shared by the simulated CPUs.
+
+The simulation charges CPU cycles for *real* addresses: every kernel
+data structure (TCP control blocks, sk_buffs, socket buffers, NIC
+descriptor rings, payload pages) is allocated a concrete range in a
+simulated physical address space, and the cache models in
+:mod:`repro.cpu` operate on those addresses at cache-line granularity.
+That is what makes the paper's affinity effects *emergent* here: the
+same bytes are touched regardless of placement, but placement decides
+which CPU's caches hold them.
+"""
+
+from repro.mem.layout import (
+    CACHE_LINE,
+    PAGE_SIZE,
+    AddressSpace,
+    MemoryObject,
+    line_span,
+)
+from repro.mem.system import DirectoryEntry, MemorySystem
+
+__all__ = [
+    "CACHE_LINE",
+    "PAGE_SIZE",
+    "AddressSpace",
+    "MemoryObject",
+    "line_span",
+    "MemorySystem",
+    "DirectoryEntry",
+]

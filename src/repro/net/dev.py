@@ -1,0 +1,57 @@
+"""Device layer: transmit queueing and per-CPU softnet state.
+
+``dev_queue_xmit`` serializes transmitters on the device's TX lock --
+under no affinity, a process transmitting on CPU1 and ACK-driven
+transmits from softirq on CPU0 contend here, one of the lock-bin
+costs full affinity removes.
+
+The softnet structures mirror 2.4: a per-CPU *backlog* queue fed by
+``netif_rx`` in the top half and drained by ``net_rx_action``, and a
+per-CPU *completion* queue of transmitted clones freed by
+``net_tx_action``.
+"""
+
+from repro.net.params import base_instructions
+
+
+def dev_queue_xmit(ctx, stack, nic, skb, packet):
+    """Queue a frame to the NIC: lock, descriptor fill, doorbell."""
+    specs = stack.specs
+    yield ("spin", nic.tx_lock)
+    ctx.charge(
+        specs["dev_queue_xmit"],
+        base_instructions("dev_queue_xmit"),
+        reads=[skb.head_range(64)],
+        writes=[(nic.regs.addr, 32)],
+    )
+    desc = nic.next_tx_desc()
+    # Descriptor write plus the uncached doorbell write (~250 cycles of
+    # posted-write / ordering cost on this chipset generation).
+    ctx.charge(
+        specs["e1000_xmit_frame"],
+        base_instructions("e1000_xmit_frame"),
+        reads=[skb.head_range(128)],
+        writes=[desc],
+        extra_cycles=250,
+    )
+    nic.hw_xmit(skb, packet, ctx.now)
+    ctx.unlock(nic.tx_lock)
+
+
+class SoftnetData:
+    """Per-CPU softnet state: backlog + completion queues."""
+
+    def __init__(self, machine, cpu_index):
+        self.cpu_index = cpu_index
+        self.backlog = []
+        self.completion_queue = []
+        self.obj = machine.space.alloc("softnet_data%d" % cpu_index, 256)
+        self.backlog_peak = 0
+
+    def enqueue_backlog(self, skb):
+        self.backlog.append(skb)
+        if len(self.backlog) > self.backlog_peak:
+            self.backlog_peak = len(self.backlog)
+
+    def head_range(self):
+        return self.obj.field(0, 64)

@@ -1,0 +1,215 @@
+"""An e1000-class gigabit NIC: rings, DMA, coalescing, serialized wire.
+
+Device behaviour runs on engine events (no CPU cycles); CPU work
+(filling descriptors, claiming completions) is charged by the driver
+code in :mod:`repro.net.stack`.  The modelled properties that matter
+to the paper:
+
+* **DMA**: transmit DMA *reads* payload (CPU copies stay warm --
+  snooped, not invalidated); receive DMA *writes* payload, so receive
+  copies always start cache-cold.
+* **Interrupt coalescing**: one interrupt per ``coalesce_frames``
+  frames or ``coalesce_us`` after the first pending frame, whichever
+  first -- the paper's NICs do the same, which is why per-handler
+  machine-clear counts are invariant across affinity modes (interrupt
+  *arrival* doesn't change, only its destination CPU).
+* **Wire serialization**: each direction is a 1 Gb/s pipe; frames
+  queue behind each other.  The CPU, not the wire, is the bottleneck
+  in every experiment, as in the paper.
+"""
+
+from repro.net.packet import HEADER_WIRE_BYTES
+
+TX_DESC_BYTES = 16
+RX_DESC_BYTES = 16
+RING_ENTRIES = 256
+
+
+class Nic:
+    """One port: two rings, one IRQ line, a full-duplex wire."""
+
+    def __init__(self, machine, index, vector, params):
+        self.machine = machine
+        self.engine = machine.engine
+        self.index = index
+        self.name = "eth%d" % index
+        self.vector = vector
+        self.params = params
+        space = machine.space
+        self.tx_ring = space.alloc("%s:tx_ring" % self.name,
+                                   RING_ENTRIES * TX_DESC_BYTES)
+        self.rx_ring = space.alloc("%s:rx_ring" % self.name,
+                                   RING_ENTRIES * RX_DESC_BYTES)
+        self.regs = space.alloc("%s:regs" % self.name, 128)
+        self.tx_lock = machine.new_lock("tx_lock:%s" % self.name)
+        #: Remote endpoint; set by the stack.
+        self.peer = None
+
+        # Transmit side.
+        self._tx_wire_free_at = 0
+        self._tx_head = 0  # descriptor index for address realism
+        self.tx_done = []  # completed skbs awaiting interrupt claim
+        # Receive side.
+        self._rx_wire_free_at = 0
+        self._rx_head = 0
+        self.rx_posted = []   # skbs posted for receive DMA
+        self.rx_pending = []  # received skbs awaiting interrupt claim
+
+        self._irq_latched = False
+        self._coalesce_timer = None
+
+        #: Fault injection: when set to N > 0, every Nth transmitted
+        #: frame is lost on the way to the peer (the SUT still sees a
+        #: normal TX completion).  Used to exercise loss recovery.
+        self.drop_every_n = 0
+
+        # Statistics.
+        self.frames_out = 0
+        self.frames_in = 0
+        self.bytes_out = 0
+        self.bytes_in = 0
+        self.rx_drops = 0
+        self.tx_drops = 0
+        self.irqs_fired = 0
+
+    # ------------------------------------------------------------------
+    # Descriptor address helpers (for driver-side cache touches).
+    # ------------------------------------------------------------------
+
+    def next_tx_desc(self):
+        idx = self._tx_head % RING_ENTRIES
+        self._tx_head += 1
+        return self.tx_ring.field(idx * TX_DESC_BYTES, TX_DESC_BYTES)
+
+    def next_rx_desc(self):
+        idx = self._rx_head % RING_ENTRIES
+        self._rx_head += 1
+        return self.rx_ring.field(idx * RX_DESC_BYTES, RX_DESC_BYTES)
+
+    # ------------------------------------------------------------------
+    # Transmit path (driver hands a frame to the hardware).
+    # ------------------------------------------------------------------
+
+    def hw_xmit(self, skb, packet, now):
+        """Accept a frame at local time ``now``; wire + DMA are events."""
+        start = max(now, self._tx_wire_free_at, self.engine.now)
+        done = start + self.params.wire_cycles(packet.wire_len)
+        self._tx_wire_free_at = done
+        self.frames_out += 1
+        self.bytes_out += packet.len
+        self.engine.schedule_at(
+            done, lambda: self._tx_complete(skb, packet),
+            label="%s tx" % self.name,
+        )
+
+    def _tx_complete(self, skb, packet):
+        # Transmit DMA reads header + payload from memory.
+        if skb.len > 0:
+            addr, size = skb.data.field(0, skb.HEADER_BYTES + skb.len)
+        else:
+            addr, size = skb.header_range()
+        self.machine.memsys.dma_read(addr, size)
+        self.tx_done.append(skb)
+        self._signal()
+        if (
+            self.drop_every_n
+            and packet.len > 0
+            and self.frames_out % self.drop_every_n == 0
+        ):
+            self.tx_drops += 1
+            return  # lost on the wire; the peer never sees it
+        if self.peer is not None:
+            self.engine.schedule_after(
+                self.params.one_way_delay_cycles,
+                lambda: self.peer.on_frame(packet),
+                label="%s->peer" % self.name,
+            )
+
+    # ------------------------------------------------------------------
+    # Receive path (frames arrive from the peer).
+    # ------------------------------------------------------------------
+
+    def post_rx(self, skb):
+        """Driver posts a buffer for receive DMA."""
+        self.rx_posted.append(skb)
+
+    def rx_posted_deficit(self):
+        """Buffers to replenish to keep the ring full."""
+        return self.params.rx_ring_size - len(self.rx_posted)
+
+    def deliver_frame(self, packet):
+        """Peer-side entry: serialize on our receive wire, then DMA."""
+        start = max(self.engine.now, self._rx_wire_free_at)
+        done = start + self.params.wire_cycles(packet.wire_len)
+        self._rx_wire_free_at = done
+        self.engine.schedule_at(
+            done, lambda: self._rx_dma(packet), label="%s rx" % self.name
+        )
+
+    def _rx_dma(self, packet):
+        if not self.rx_posted:
+            self.rx_drops += 1
+            return
+        skb = self.rx_posted.pop(0)
+        skb.seq = packet.seq
+        skb.end_seq = packet.end_seq
+        skb.len = packet.len
+        skb.consumed = 0
+        skb.is_ack = packet.is_ack
+        skb.sent_at = self.engine.now
+        skb.pkt = packet
+        # Receive DMA writes header + payload: CPU copies will be cold.
+        addr, size = skb.data.field(
+            0, skb.HEADER_BYTES + max(packet.len, HEADER_WIRE_BYTES)
+        )
+        self.machine.memsys.dma_write(addr, size)
+        self.frames_in += 1
+        self.bytes_in += packet.len
+        self.rx_pending.append((packet, skb))
+        self._signal()
+
+    # ------------------------------------------------------------------
+    # Interrupt coalescing.
+    # ------------------------------------------------------------------
+
+    def _signal(self):
+        if self._irq_latched:
+            return
+        pending = len(self.rx_pending) + len(self.tx_done)
+        if pending >= self.params.coalesce_frames:
+            self._fire()
+        elif self._coalesce_timer is None:
+            self._coalesce_timer = self.engine.schedule_after(
+                self.params.coalesce_cycles, self._coalesce_timeout,
+                label="%s itr" % self.name,
+            )
+
+    def _coalesce_timeout(self):
+        self._coalesce_timer = None
+        if not self._irq_latched and (self.rx_pending or self.tx_done):
+            self._fire()
+
+    def _fire(self):
+        self._irq_latched = True
+        if self._coalesce_timer is not None:
+            self._coalesce_timer.cancel()
+            self._coalesce_timer = None
+        self.irqs_fired += 1
+        self.machine.raise_irq(self.vector)
+
+    def claim(self):
+        """Top half reads ICR: returns and clears pending completions."""
+        self._irq_latched = False
+        tx_done, self.tx_done = self.tx_done, []
+        rx_pending, self.rx_pending = self.rx_pending, []
+        if self.rx_pending or self.tx_done:
+            self._signal()
+        return tx_done, rx_pending
+
+    def reset_stats(self):
+        self.frames_out = 0
+        self.frames_in = 0
+        self.bytes_out = 0
+        self.bytes_in = 0
+        self.rx_drops = 0
+        self.irqs_fired = 0

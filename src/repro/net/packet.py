@@ -1,0 +1,63 @@
+"""On-wire frame representation.
+
+Frames carry TCP bookkeeping only; payload bytes exist as simulated
+memory (DMA targets), not Python data.  ``wire_len`` is what the
+serialization model charges to the link.
+"""
+
+#: TCP/IP/Ethernet header bytes on the wire.
+HEADER_WIRE_BYTES = 54
+#: Minimum Ethernet frame payload area (an ACK still occupies this).
+MIN_FRAME = 60
+
+
+class Packet:
+    """One Ethernet frame carrying a TCP segment.
+
+    ``ctl`` marks control segments of the connection life cycle:
+    ``"syn"``, ``"synack"``, ``"estab_ack"`` (the handshake's third
+    leg), ``"fin"`` and ``"finack"``.  Data and pure-ACK segments have
+    ``ctl=None``.
+    """
+
+    __slots__ = ("conn_id", "seq", "end_seq", "len", "is_ack", "ack_seq",
+                 "window", "ctl")
+
+    def __init__(self, conn_id, seq=0, length=0, is_ack=False, ack_seq=0,
+                 window=0, ctl=None):
+        self.conn_id = conn_id
+        self.seq = seq
+        self.len = length
+        self.end_seq = seq + length
+        self.is_ack = is_ack
+        self.ack_seq = ack_seq
+        self.window = window
+        self.ctl = ctl
+
+    @property
+    def wire_len(self):
+        return max(MIN_FRAME, self.len + HEADER_WIRE_BYTES)
+
+    def __repr__(self):
+        if self.is_ack and self.len == 0:
+            return "Packet(ack conn=%d ack=%d win=%d)" % (
+                self.conn_id, self.ack_seq, self.window)
+        return "Packet(data conn=%d seq=%d len=%d)" % (
+            self.conn_id, self.seq, self.len)
+
+
+def data_packet(conn_id, seq, length, ack_seq=0, window=0):
+    """A data-bearing segment (every TCP segment also carries an ACK)."""
+    pkt = Packet(conn_id, seq=seq, length=length, is_ack=False,
+                 ack_seq=ack_seq, window=window)
+    return pkt
+
+
+def ack_packet(conn_id, ack_seq, window):
+    """A pure ACK."""
+    return Packet(conn_id, is_ack=True, ack_seq=ack_seq, window=window)
+
+
+def control_packet(conn_id, ctl, window=0):
+    """A connection-lifecycle control segment (SYN/FIN family)."""
+    return Packet(conn_id, is_ack=False, ctl=ctl, window=window)

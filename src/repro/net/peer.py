@@ -1,0 +1,313 @@
+"""The ideal remote endpoint (the paper's client machines).
+
+In every experiment the SUT is the bottleneck -- the paper's clients
+are faster boxes whose only job is to keep the wire busy.  We model
+them as zero-cost protocol engines:
+
+* **sink** mode (SUT transmits): consume data instantly, return a
+  cumulative ACK every ``ack_every`` segments (plus a flush timer so a
+  trailing odd segment is not stranded), always advertising the full
+  window;
+* **source** mode (SUT receives): stream MSS segments as fast as the
+  receiver's advertised window and the gigabit wire allow, reacting
+  to the SUT's ACKs exactly like a correct TCP sender;
+* **initiator** mode (request/response): issue fixed-size commands and
+  consume block-sized responses, keeping ``queue_depth`` commands
+  outstanding -- an iSCSI-initiator-shaped client for the paper's
+  "file IO over iSCSI/TCP" future-work experiment.
+"""
+
+from repro.net.packet import ack_packet, data_packet
+
+#: Sink flush delay: a trailing un-ACKed segment is acknowledged after
+#: this long (cycles at 2 GHz ~ 100 us), mirroring delayed-ACK.
+SINK_FLUSH_CYCLES = 200_000
+
+
+class Peer:
+    """One remote endpoint, bound to one NIC and one connection."""
+
+    def __init__(self, machine, nic, conn_id, params, mode,
+                 command_bytes=48, block_bytes=8192, queue_depth=4,
+                 request_bytes=256, requests_per_conn=8,
+                 think_cycles=100_000):
+        if mode not in ("sink", "source", "initiator", "client"):
+            raise ValueError("unknown peer mode %r" % mode)
+        self.machine = machine
+        self.engine = machine.engine
+        self.nic = nic
+        self.conn_id = conn_id
+        self.params = params
+        self.mode = mode
+
+        # Sink state.
+        self.rcv_nxt = 0
+        self._unacked_segments = 0
+        self._flush_event = None
+        #: Out-of-order reassembly queue: list of (seq, end_seq) held
+        #: past a loss-induced gap, merged when the gap fills.
+        self._ooo = []
+        self.dup_acks_sent = 0
+
+        # Source state.
+        self.snd_nxt = 0
+        self.snd_una = 0
+        self.peer_rcv_window = params.max_window
+        self._pump_scheduled = False
+        self.total_sent = 0
+
+        # Initiator state.
+        self.command_bytes = command_bytes
+        self.block_bytes = block_bytes
+        self.queue_depth = queue_depth
+        self.commands_sent = 0
+        self.responses_completed = 0
+
+        # Web-client state (connection-churn episodes).
+        self.request_bytes = request_bytes
+        self.requests_per_conn = requests_per_conn
+        self.think_cycles = think_cycles
+        self.phase = "idle"
+        self.requests_sent_this_conn = 0
+        self.connections_completed = 0
+        self.requests_completed_total = 0
+
+        self.acks_sent = 0
+        self.segments_sent = 0
+
+    # ------------------------------------------------------------------
+    # Frames arriving from the SUT.
+    # ------------------------------------------------------------------
+
+    def on_frame(self, packet):
+        if self.mode == "sink":
+            self._sink_on_frame(packet)
+        elif self.mode == "source":
+            self._source_on_frame(packet)
+        elif self.mode == "initiator":
+            self._initiator_on_frame(packet)
+        else:
+            self._client_on_frame(packet)
+
+    # ------------------------------------------------------------------
+    # Sink: ACK the SUT's data.
+    # ------------------------------------------------------------------
+
+    def _sink_on_frame(self, packet):
+        if packet.is_ack or packet.len == 0:
+            return  # pure ACK (window updates) -- nothing to do
+        if packet.seq > self.rcv_nxt:
+            # A gap: buffer out of order and duplicate-ACK immediately
+            # so the sender's fast retransmit can kick in.
+            self._ooo.append((packet.seq, packet.end_seq))
+            self.dup_acks_sent += 1
+            self._send_ack()
+            return
+        if packet.end_seq > self.rcv_nxt:
+            self.rcv_nxt = packet.end_seq
+            self._drain_ooo()
+        else:
+            # Entirely duplicate data (a retransmission overlap): ack
+            # our current state immediately.
+            self._send_ack()
+            return
+        self._unacked_segments += 1
+        if self._unacked_segments >= self.params.ack_every:
+            self._send_ack()
+        elif self._flush_event is None:
+            self._flush_event = self.engine.schedule_after(
+                SINK_FLUSH_CYCLES, self._flush, label="peer%d flush" % self.conn_id
+            )
+
+    def _drain_ooo(self):
+        """Advance rcv_nxt over any buffered segments the gap-fill
+        reached (TCP reassembly)."""
+        progressed = True
+        while progressed:
+            progressed = False
+            keep = []
+            for seq, end_seq in self._ooo:
+                if seq <= self.rcv_nxt:
+                    if end_seq > self.rcv_nxt:
+                        self.rcv_nxt = end_seq
+                    progressed = True
+                else:
+                    keep.append((seq, end_seq))
+            self._ooo = keep
+
+    def _flush(self):
+        self._flush_event = None
+        if self._unacked_segments:
+            self._send_ack()
+
+    def _send_ack(self):
+        self._unacked_segments = 0
+        if self._flush_event is not None:
+            self._flush_event.cancel()
+            self._flush_event = None
+        self.acks_sent += 1
+        self.nic.deliver_frame(
+            ack_packet(self.conn_id, self.rcv_nxt, self.params.max_window)
+        )
+
+    # ------------------------------------------------------------------
+    # Source: stream data into the SUT.
+    # ------------------------------------------------------------------
+
+    def start_stream(self):
+        """Begin transmitting (source mode)."""
+        if self.mode != "source":
+            raise RuntimeError("start_stream on a sink peer")
+        self._pump()
+
+    def _source_on_frame(self, packet):
+        if packet.ack_seq > self.snd_una:
+            self.snd_una = packet.ack_seq
+        self.peer_rcv_window = packet.window
+        self._pump()
+
+    def _pump(self):
+        """Send while the receiver's window has room."""
+        mss = self.params.mss
+        while self.snd_nxt + mss <= self.snd_una + self.peer_rcv_window:
+            self.nic.deliver_frame(
+                data_packet(self.conn_id, self.snd_nxt, mss)
+            )
+            self.snd_nxt += mss
+            self.total_sent += mss
+            self.segments_sent += 1
+
+    # ------------------------------------------------------------------
+    # Initiator: command/response pipelining (iSCSI-shaped).
+    # ------------------------------------------------------------------
+
+    def start_commands(self):
+        """Issue the initial command window (initiator mode)."""
+        if self.mode != "initiator":
+            raise RuntimeError("start_commands on a %s peer" % self.mode)
+        self._pump_commands()
+
+    def _initiator_on_frame(self, packet):
+        if packet.is_ack or packet.len == 0:
+            return
+        # Response data from the SUT: consume like a sink.
+        if packet.seq > self.rcv_nxt:
+            self._ooo.append((packet.seq, packet.end_seq))
+            self.dup_acks_sent += 1
+            self._send_ack()
+            return
+        if packet.end_seq > self.rcv_nxt:
+            self.rcv_nxt = packet.end_seq
+            self._drain_ooo()
+        else:
+            self._send_ack()
+            return
+        self._unacked_segments += 1
+        if self._unacked_segments >= self.params.ack_every:
+            self._send_ack()
+        elif self._flush_event is None:
+            self._flush_event = self.engine.schedule_after(
+                SINK_FLUSH_CYCLES, self._flush,
+                label="peer%d flush" % self.conn_id,
+            )
+        self.responses_completed = self.rcv_nxt // self.block_bytes
+        self._pump_commands()
+
+    def _pump_commands(self):
+        while (
+            self.commands_sent - self.responses_completed < self.queue_depth
+        ):
+            self.nic.deliver_frame(
+                data_packet(self.conn_id, self.snd_nxt, self.command_bytes)
+            )
+            self.snd_nxt += self.command_bytes
+            self.total_sent += self.command_bytes
+            self.commands_sent += 1
+
+    # ------------------------------------------------------------------
+    # Web client: connection-churn episodes (setup, K requests, FIN).
+    # ------------------------------------------------------------------
+
+    def start_episodes(self):
+        """Begin the first connection episode (client mode)."""
+        if self.mode != "client":
+            raise RuntimeError("start_episodes on a %s peer" % self.mode)
+        self._open_connection()
+
+    def _open_connection(self):
+        from repro.net.packet import control_packet
+
+        self.phase = "setup"
+        self.requests_sent_this_conn = 0
+        self.snd_nxt = 0
+        self.rcv_nxt = 0
+        self._ooo = []
+        self._unacked_segments = 0
+        self.nic.deliver_frame(control_packet(self.conn_id, "syn"))
+
+    def _client_on_frame(self, packet):
+        from repro.net.packet import control_packet
+
+        if packet.ctl == "synack":
+            self.phase = "established"
+            self.nic.deliver_frame(control_packet(self.conn_id, "estab_ack"))
+            self._send_request()
+            return
+        if packet.ctl == "finack":
+            self.phase = "idle"
+            self.connections_completed += 1
+            self.engine.schedule_after(
+                self.think_cycles, self._open_connection,
+                label="client%d think" % self.conn_id,
+            )
+            return
+        if packet.is_ack or packet.len == 0:
+            return
+        # Response data: consume like a sink.
+        if packet.seq > self.rcv_nxt:
+            self._ooo.append((packet.seq, packet.end_seq))
+            self.dup_acks_sent += 1
+            self._send_ack()
+            return
+        if packet.end_seq > self.rcv_nxt:
+            self.rcv_nxt = packet.end_seq
+            self._drain_ooo()
+        else:
+            self._send_ack()
+            return
+        self._unacked_segments += 1
+        if self._unacked_segments >= self.params.ack_every:
+            self._send_ack()
+        elif self._flush_event is None:
+            self._flush_event = self.engine.schedule_after(
+                SINK_FLUSH_CYCLES, self._flush,
+                label="peer%d flush" % self.conn_id,
+            )
+        # A response is complete when the byte stream reaches the next
+        # response boundary.
+        if self.rcv_nxt >= self.requests_sent_this_conn * self.block_bytes:
+            self.requests_completed_total += 1
+            if self.requests_sent_this_conn < self.requests_per_conn:
+                self._send_request()
+            else:
+                # Make sure the server's data is fully acknowledged,
+                # then close.
+                self._send_ack()
+                self.phase = "closing"
+                self.nic.deliver_frame(
+                    control_packet(self.conn_id, "fin")
+                )
+
+    def _send_request(self):
+        self.nic.deliver_frame(
+            data_packet(self.conn_id, self.snd_nxt, self.request_bytes)
+        )
+        self.snd_nxt += self.request_bytes
+        self.total_sent += self.request_bytes
+        self.requests_sent_this_conn += 1
+
+    def reset_stats(self):
+        self.acks_sent = 0
+        self.segments_sent = 0
+        self.connections_completed = 0
+        self.requests_completed_total = 0

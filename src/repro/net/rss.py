@@ -1,0 +1,53 @@
+"""Receive-side-scaling-style dynamic flow steering.
+
+The paper's conclusion looks forward to NICs that "look deeper into
+packets to extract flow information (receive-side scaling) and direct
+connections and interrupts, dynamically, to a specific processor".
+This module implements that vision on the simulated hardware: a
+controller periodically points each connection's interrupt line at the
+CPU its consuming process last ran on, achieving full-affinity-like
+alignment with *no static pinning* -- the process remains free and the
+interrupts follow it.
+"""
+
+
+class RssSteering:
+    """Dynamic per-flow interrupt steering."""
+
+    def __init__(self, machine, stack, tasks, interval_cycles=2_000_000):
+        if len(tasks) != len(stack.connections):
+            raise ValueError(
+                "need one task per connection (%d tasks, %d connections)"
+                % (len(tasks), len(stack.connections))
+            )
+        self.machine = machine
+        self.stack = stack
+        self.tasks = list(tasks)
+        self.interval_cycles = interval_cycles
+        self.updates = 0
+        self.retargets = 0
+        machine.engine.schedule_after(
+            interval_cycles, self._steer, label="rss steer"
+        )
+
+    def _steer(self):
+        machine = self.machine
+        self.updates += 1
+        for conn, task in zip(self.stack.connections, self.tasks):
+            line = machine.ioapic.get(conn.nic.vector)
+            target_mask = 1 << task.prev_cpu
+            if line.smp_affinity != target_mask:
+                line.set_affinity(target_mask)
+                self.retargets += 1
+        machine.engine.schedule_after(
+            self.interval_cycles, self._steer, label="rss steer"
+        )
+
+    def alignment(self):
+        """Fraction of flows whose IRQ currently matches its process."""
+        aligned = 0
+        for conn, task in zip(self.stack.connections, self.tasks):
+            line = self.machine.ioapic.get(conn.nic.vector)
+            if line.smp_affinity == 1 << task.prev_cpu:
+                aligned += 1
+        return aligned / float(len(self.tasks))

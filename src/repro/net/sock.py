@@ -1,0 +1,208 @@
+"""``struct sock``: per-connection protocol and buffer state.
+
+The socket's backing memory is split the way the paper splits its
+bins: the first half is the TCP control block (sequence state, window
+bookkeeping -- touched by *Engine* code), the second half is queue and
+memory accounting (touched by *Buffer mgmt* code).  Affinity
+experiments hinge on these few cache lines: they are written by
+softirq code on the interrupt CPU and read by process-context code on
+the process CPU, so their residency tracks placement decisions.
+"""
+
+from repro.kernel.task import WaitQueue
+
+#: Total size of the sock object (struct sock + struct tcp_opt + dst
+#: + bound timers, as in 2.4); the first region is the TCB proper.
+SOCK_SIZE = 2048
+TCB_BYTES = 1024
+
+
+class Sock:
+    """One established TCP connection endpoint on the SUT."""
+
+    def __init__(self, machine, params, conn_id, name):
+        self.conn_id = conn_id
+        self.name = name
+        self.params = params
+        self.obj = machine.space.alloc("sock:%s" % name, SOCK_SIZE)
+        self.lock = machine.new_lock("sk_lock:%s" % name)
+        self.snd_wq = WaitQueue("snd:%s" % name)
+        self.rcv_wq = WaitQueue("rcv:%s" % name)
+        #: Linux 2.4 socket-lock semantics: process context sets the
+        #: *owner* flag under the spinlock and releases the spinlock;
+        #: bottom halves that find the socket owned queue their segment
+        #: on ``backlog`` instead of spinning, and the owner processes
+        #: the backlog at ``release_sock`` -- in its own context, on
+        #: its own CPU.  (This is why the paper's Table 4 shows
+        #: ``tcp_rcv_established`` running on the process CPU.)
+        self.owned = False
+        self.backlog = []
+        self.backlogged_total = 0
+        #: Connection life cycle.  Bulk-workload sockets are born
+        #: established (the paper sets its connections up once); the
+        #: web-style workloads churn through setup and teardown.
+        self.established = True
+        self.fin_received = False
+        self.episodes = 0
+
+        # ----- transmit state -----
+        self.snd_una = 0          # oldest unacknowledged sequence
+        self.snd_nxt = 0          # next sequence to send
+        self.snd_wnd = params.max_window
+        #: Send queue: unacked-but-sent skbs followed by unsent ones;
+        #: ``send_head`` indexes the first unsent skb.
+        self.send_queue = []
+        self.send_head = 0
+        self.wmem_queued = 0      # truesize bytes accounted to sndbuf
+        #: Consecutive duplicate ACKs seen (fast-retransmit trigger).
+        self.dupacks = 0
+
+        # ----- receive state -----
+        self.rcv_nxt = 0
+        self.receive_queue = []
+        self.rmem_queued = 0
+        self.last_window_advertised = params.max_window
+        self.segs_since_ack = 0
+        self.delack_pending = False
+
+        # Timers are attached by the stack (they need handler closures).
+        self.delack_timer = None
+        self.rexmit_timer = None
+
+        # Statistics.
+        self.segs_out = 0
+        self.segs_in = 0
+        self.acks_out = 0
+        self.acks_in = 0
+        self.bytes_queued_total = 0
+
+    # ------------------------------------------------------------------
+    # Memory ranges for cache modelling.
+    # ------------------------------------------------------------------
+
+    def tcb_read(self, size=576):
+        """The engine's working set inside the control block."""
+        return self.obj.field(0, min(size, TCB_BYTES))
+
+    def tcb_write(self, size=192):
+        return self.obj.field(0, min(size, TCB_BYTES))
+
+    def buf_read(self, size=192):
+        """The buffer-accounting region (queues, wmem/rmem counters)."""
+        return self.obj.field(TCB_BYTES, size)
+
+    def buf_write(self, size=128):
+        return self.obj.field(TCB_BYTES, size)
+
+    # ------------------------------------------------------------------
+    # Transmit-side bookkeeping.
+    # ------------------------------------------------------------------
+
+    @property
+    def in_flight(self):
+        return self.snd_nxt - self.snd_una
+
+    def sndbuf_free(self):
+        return self.params.sndbuf - self.wmem_queued
+
+    def can_queue_skb(self):
+        """Room to account one more skb against the send buffer?"""
+        return self.sndbuf_free() >= self.params.skb_truesize
+
+    def tail_unsent(self):
+        """The unsent tail skb Nagle coalescing appends to, or None."""
+        if self.send_head < len(self.send_queue):
+            return self.send_queue[-1]
+        return None
+
+    def unsent_count(self):
+        return len(self.send_queue) - self.send_head
+
+    def window_allows(self, skb_len):
+        return self.in_flight + skb_len <= self.snd_wnd
+
+    def ack_clean(self, ack_seq):
+        """Drop fully-acked skbs from the head; returns the skbs freed."""
+        freed = []
+        while self.send_queue and self.send_head > 0:
+            skb = self.send_queue[0]
+            if skb.end_seq <= ack_seq:
+                freed.append(self.send_queue.pop(0))
+                self.send_head -= 1
+                self.wmem_queued -= skb.truesize
+            else:
+                break
+        if ack_seq > self.snd_una:
+            self.snd_una = ack_seq
+        return freed
+
+    # ------------------------------------------------------------------
+    # Receive-side bookkeeping.
+    # ------------------------------------------------------------------
+
+    def rcvbuf_free(self):
+        return self.params.rcvbuf - self.rmem_queued
+
+    def advertised_window(self):
+        """Classic un-scaled receive window from free buffer space.
+
+        Free space is discounted (tcp_adv_win_scale) because the
+        window is promised in payload bytes while the buffer fills in
+        truesize: 5/8 of free space keeps a full window of MSS
+        segments (truesize/payload ~ 1.58) within rcvbuf.
+        """
+        usable = self.rcvbuf_free() * 5 // 8
+        return max(0, min(self.params.max_window, usable))
+
+    def receive_data(self, skb):
+        """Queue an in-order data skb (state only; charging is the
+        caller's job)."""
+        if skb.seq != self.rcv_nxt:
+            raise RuntimeError(
+                "%s: out-of-order segment seq=%d rcv_nxt=%d"
+                % (self.name, skb.seq, self.rcv_nxt)
+            )
+        self.rcv_nxt = skb.end_seq
+        self.receive_queue.append(skb)
+        self.rmem_queued += skb.truesize
+        self.segs_in += 1
+        self.bytes_queued_total += skb.len
+
+    def reset_connection(self):
+        """Return to CLOSED/LISTEN state after teardown (state only).
+
+        The caller must have drained queues (our teardown protocol
+        guarantees no in-flight residue).
+        """
+        if self.send_queue or self.receive_queue or self.backlog:
+            raise RuntimeError(
+                "%s: teardown with residue (send=%d recv=%d backlog=%d)"
+                % (self.name, len(self.send_queue),
+                   len(self.receive_queue), len(self.backlog))
+            )
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.send_head = 0
+        self.wmem_queued = 0
+        self.dupacks = 0
+        self.rcv_nxt = 0
+        self.rmem_queued = 0
+        self.segs_since_ack = 0
+        self.last_window_advertised = self.params.max_window
+        self.established = False
+        self.fin_received = False
+        self.episodes += 1
+
+    def window_update_due(self):
+        """Should a window-update ACK be sent after the reader drained?"""
+        return (
+            self.advertised_window() - self.last_window_advertised
+            >= 2 * self.params.mss
+        )
+
+    def __repr__(self):
+        return (
+            "Sock(%s una=%d nxt=%d inflight=%d rcvq=%d)"
+            % (self.name, self.snd_una, self.snd_nxt, self.in_flight,
+               len(self.receive_queue))
+        )

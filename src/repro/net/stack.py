@@ -1,0 +1,538 @@
+"""Stack assembly: connections, drivers, softirqs, system calls.
+
+One :class:`NetworkStack` wires the full data path of the paper's SUT:
+eight NICs (vectors straight out of the paper's Table 4), one
+connection per NIC, per-CPU softnet state, TCP timers, and the
+``sys_write``/``sys_read`` entry points the ttcp workload calls.
+"""
+
+from repro.kernel.interrupts import IrqLine
+from repro.kernel.softirq import NET_RX_SOFTIRQ, NET_TX_SOFTIRQ
+from repro.kernel.timers import KernelTimer
+from repro.net.copies import charge_rx_copy
+from repro.net.dev import SoftnetData
+from repro.net.nic import Nic
+from repro.net.params import NetParams, base_instructions, register_profiles
+from repro.net.peer import Peer
+from repro.net.skbuff import SkbPools
+from repro.net.sock import Sock
+from repro.net.tcp_input import net_rx_action, process_segment
+from repro.net.tcp_output import send_control, tcp_send_ack, tcp_sendmsg
+
+#: The paper's NIC interrupt vectors (Table 4).
+PAPER_NIC_VECTORS = (0x19, 0x1A, 0x1B, 0x1D, 0x23, 0x24, 0x25, 0x27)
+
+
+class Connection:
+    """One ttcp connection: socket + NIC + remote peer + user buffer."""
+
+    def __init__(self, conn_id, sock, nic, peer, user_buffer, file_obj):
+        self.conn_id = conn_id
+        self.sock = sock
+        self.nic = nic
+        self.peer = peer
+        self.user_buffer = user_buffer
+        self.file_obj = file_obj
+        #: Next sequence number to assign to queued (not yet sent) data.
+        self.write_seq = 0
+        self.bytes_acked = 0
+        self.rexmit_armed = False
+        self.rto_fires = 0
+        self.fast_retransmits = 0
+        self.retransmitted_segments = 0
+        self.rexmit_timer = None
+
+    def reset_stats(self):
+        self.bytes_acked = 0
+        self.rto_fires = 0
+        self.fast_retransmits = 0
+        self.retransmitted_segments = 0
+
+    def __repr__(self):
+        return "Connection(%d via %s)" % (self.conn_id, self.nic.name)
+
+
+class NetworkStack:
+    """The assembled TCP/IP stack on a :class:`~repro.kernel.machine.Machine`."""
+
+    NET_RX = NET_RX_SOFTIRQ
+    NET_TX = NET_TX_SOFTIRQ
+
+    def __init__(self, machine, params=None, n_connections=8, mode="tx",
+                 message_size=65536, vectors=PAPER_NIC_VECTORS):
+        """
+        Parameters
+        ----------
+        mode:
+            ``"tx"`` -- the SUT transmits (peers are sinks);
+            ``"rx"`` -- the SUT receives (peers are sources);
+            ``"iscsi"`` -- request/response: peers are iSCSI-shaped
+            initiators issuing read commands, the SUT serves blocks
+            (the paper's future-work workload);
+            ``"web"`` -- connection-churn request/response: clients set
+            up a connection, issue a few requests, and tear it down
+            (the paper's workload-partitioning argument).
+        message_size:
+            The ttcp transaction size; sizes the per-process user
+            buffer (ttcp reuses one buffer for every iteration).
+        """
+        if mode not in ("tx", "rx", "iscsi", "web"):
+            raise ValueError(
+                "mode must be 'tx', 'rx', 'iscsi' or 'web', got %r" % mode
+            )
+        if n_connections > len(vectors):
+            raise ValueError(
+                "%d connections but only %d IRQ vectors"
+                % (n_connections, len(vectors))
+            )
+        self.machine = machine
+        self.params = params or NetParams()
+        self.mode = mode
+        self.message_size = message_size
+        self.specs = register_profiles(machine.functions)
+        self.pools = SkbPools(machine, self.params)
+        self.softnet = [
+            SoftnetData(machine, i) for i in range(machine.n_cpus)
+        ]
+        # Shared read-mostly kernel structures.
+        self.route_cache = machine.space.alloc("rt_cache", 512)
+        self.ehash = machine.space.alloc("tcp_ehash", 1024)
+        self.xtime = machine.space.alloc("xtime", 64)
+
+        machine.softirqs.register(NET_RX_SOFTIRQ, self._net_rx_action)
+        machine.softirqs.register(NET_TX_SOFTIRQ, self._net_tx_action)
+
+        self.nics = []
+        self.connections = []
+        for i in range(n_connections):
+            nic = Nic(machine, i, vectors[i], self.params)
+            machine.register_irq(
+                IrqLine(vectors[i], nic.name, self._make_isr(nic))
+            )
+            self.nics.append(nic)
+            self.connections.append(self._make_connection(i, nic))
+        self._prime_rx_rings()
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+
+    def _make_connection(self, conn_id, nic):
+        machine = self.machine
+        sock = Sock(machine, self.params, conn_id, "conn%d" % conn_id)
+        peer_mode = {"tx": "sink", "rx": "source", "iscsi": "initiator",
+                     "web": "client"}[self.mode]
+        peer = Peer(machine, nic, conn_id, self.params, peer_mode,
+                    block_bytes=self.message_size)
+        if self.mode == "web":
+            sock.established = False
+        nic.peer = peer
+        user_buffer = machine.space.alloc_page_aligned(
+            "ttcp_buf%d" % conn_id, max(self.message_size, 64), zone="user"
+        )
+        file_obj = machine.space.alloc("file:conn%d" % conn_id, 128)
+        conn = Connection(conn_id, sock, nic, peer, user_buffer, file_obj)
+        sock.delack_timer = KernelTimer(
+            "delack:%d" % conn_id, self._make_delack_handler(conn)
+        )
+        sock.rexmit_timer = KernelTimer(
+            "rexmit:%d" % conn_id, self._make_rexmit_handler(conn)
+        )
+        conn.rexmit_timer = sock.rexmit_timer
+        machine.add_resettable(conn)
+        machine.add_resettable(nic)
+        machine.add_resettable(peer)
+        return conn
+
+    def _prime_rx_rings(self):
+        """Fill every receive ring before traffic starts (driver init)."""
+        for nic in self.nics:
+            for _ in range(self.params.rx_ring_size):
+                nic.post_rx(self.pools.alloc_nocharge(0))
+
+    def start_peers(self):
+        """Kick active peers (receive and iSCSI experiments)."""
+        for conn in self.connections:
+            if conn.peer.mode == "source":
+                conn.peer.start_stream()
+            elif conn.peer.mode == "initiator":
+                conn.peer.start_commands()
+            elif conn.peer.mode == "client":
+                conn.peer.start_episodes()
+
+    # ------------------------------------------------------------------
+    # Interrupt service routine (top half; plain function).
+    # ------------------------------------------------------------------
+
+    def _make_isr(self, nic):
+        def isr(ctx):
+            specs = self.specs
+            # ICR read: an uncached MMIO read costs hundreds of cycles.
+            ctx.charge(
+                specs["e1000_intr"],
+                base_instructions("e1000_intr"),
+                reads=[(nic.regs.addr, 64)],
+                extra_cycles=350,
+            )
+            tx_done, rx_frames = nic.claim()
+            if tx_done:
+                softnet = self.softnet[ctx.cpu_index]
+                ctx.charge(
+                    specs["e1000_clean_tx_irq"],
+                    base_instructions("e1000_clean_tx_irq")
+                    + 25 * len(tx_done),
+                    reads=[nic.tx_ring.field(0, 16 * min(64, len(tx_done)))],
+                    writes=[softnet.head_range()],
+                )
+                softnet.completion_queue.extend(tx_done)
+                ctx.raise_softirq(NET_TX_SOFTIRQ)
+            if rx_frames:
+                softnet = self.softnet[ctx.cpu_index]
+                ctx.charge(
+                    specs["e1000_clean_rx_irq"],
+                    base_instructions("e1000_clean_rx_irq")
+                    + 30 * len(rx_frames),
+                    reads=[nic.rx_ring.field(0, 16 * min(64, len(rx_frames)))],
+                )
+                for _, skb in rx_frames:
+                    ctx.charge(
+                        specs["netif_rx"],
+                        base_instructions("netif_rx"),
+                        writes=[skb.head_range(256), softnet.head_range()],
+                    )
+                    softnet.enqueue_backlog(skb)
+                ctx.raise_softirq(NET_RX_SOFTIRQ)
+                # Replenish the ring (e1000_alloc_rx_buffers).
+                deficit = min(len(rx_frames), nic.rx_posted_deficit())
+                if deficit > 0:
+                    ctx.charge(
+                        specs["e1000_alloc_rx_buffers"],
+                        base_instructions("e1000_alloc_rx_buffers"),
+                        writes=[nic.rx_ring.field(0, 16 * deficit)],
+                    )
+                    for _ in range(deficit):
+                        skb = self.pools.alloc(
+                            ctx, specs["alloc_skb"],
+                            base_instructions("alloc_skb"),
+                        )
+                        nic.post_rx(skb)
+
+        return isr
+
+    # ------------------------------------------------------------------
+    # Softirq actions.
+    # ------------------------------------------------------------------
+
+    def _net_rx_action(self, ctx):
+        return net_rx_action(ctx, self)
+
+    def _net_tx_action(self, ctx):
+        """Free transmitted clones (dev_kfree_skb_irq completion)."""
+        specs = self.specs
+        softnet = self.softnet[ctx.cpu_index]
+        queue, softnet.completion_queue = softnet.completion_queue, []
+        ctx.charge(
+            specs["net_tx_action"],
+            base_instructions("net_tx_action"),
+            reads=[softnet.head_range()],
+        )
+        for skb in queue:
+            self.pools.free(
+                ctx, specs["kfree_skb"], base_instructions("kfree_skb"), skb
+            )
+        return
+        yield  # pragma: no cover -- marks this as a generator
+
+    # ------------------------------------------------------------------
+    # Socket ownership (Linux 2.4 lock_sock / release_sock).
+    # ------------------------------------------------------------------
+
+    def lock_sock(self, ctx, conn):
+        """Take process-context ownership of the socket.
+
+        Bottom halves arriving while we own it will backlog their
+        segments rather than spin.
+        """
+        sock = conn.sock
+        yield ("spin", sock.lock)
+        ctx.charge(
+            self.specs["sock_sendmsg"],
+            20,
+            writes=[sock.buf_write(32)],
+        )
+        sock.owned = True
+        ctx.unlock(sock.lock)
+
+    def release_sock(self, ctx, conn):
+        """Drop ownership, first processing any backlogged segments --
+        in *our* context, on *our* CPU (``__release_sock``)."""
+        sock = conn.sock
+        specs = self.specs
+        yield ("spin", sock.lock)
+        while sock.backlog:
+            skb = sock.backlog.pop(0)
+            ctx.unlock(sock.lock)
+            ctx.charge(
+                specs["skb_queue_ops"],
+                base_instructions("skb_queue_ops"),
+                reads=[(skb.head.addr, 64)],
+            )
+            for op in process_segment(ctx, self, conn, skb):
+                yield op
+            yield ("spin", sock.lock)
+        sock.owned = False
+        ctx.unlock(sock.lock)
+
+    # ------------------------------------------------------------------
+    # TCP timer handlers.
+    # ------------------------------------------------------------------
+
+    def _make_delack_handler(self, conn):
+        def handler(ctx):
+            sock = conn.sock
+            yield ("spin", sock.lock)
+            ctx.charge(
+                self.specs["tcp_delack_timer"],
+                base_instructions("tcp_delack_timer"),
+                reads=[sock.tcb_read(96)],
+            )
+            if sock.owned:
+                # Socket busy in process context: retry shortly (the
+                # 2.4 handler does exactly this).
+                ctx.unlock(sock.lock)
+                ctx.add_timer(sock.delack_timer, self.machine.tick_cycles)
+                return
+            sock.delack_pending = False
+            if sock.segs_since_ack > 0:
+                for op in tcp_send_ack(ctx, self, conn):
+                    yield op
+            ctx.unlock(sock.lock)
+
+        return handler
+
+    def _make_rexmit_handler(self, conn):
+        def handler(ctx):
+            sock = conn.sock
+            yield ("spin", sock.lock)
+            ctx.charge(
+                self.specs["tcp_write_timer"],
+                base_instructions("tcp_write_timer"),
+                reads=[sock.tcb_read(96)],
+            )
+            if sock.owned:
+                ctx.unlock(sock.lock)
+                conn.rexmit_armed = False
+                self.arm_rexmit_timer(ctx, conn)
+                return
+            conn.rexmit_armed = False
+            if sock.in_flight > 0:
+                # Retransmission timeout: resend the oldest unacked
+                # segment and back the timer off.  (The paper's
+                # loss-free testbed never reaches here; fault-injection
+                # experiments do.)
+                conn.rto_fires += 1
+                from repro.net.tcp_output import tcp_retransmit_skb
+
+                for op in tcp_retransmit_skb(ctx, self, conn):
+                    yield op
+                self.arm_rexmit_timer(ctx, conn)
+            ctx.unlock(sock.lock)
+
+        return handler
+
+    def arm_rexmit_timer(self, ctx, conn):
+        """(Re)arm the retransmit timer -- mod_timer churn on ACKs."""
+        ctx.charge(
+            self.specs["mod_timer"],
+            base_instructions("mod_timer"),
+            writes=[conn.sock.buf_write(32)],
+        )
+        if conn.rexmit_armed:
+            self.machine.del_timer(conn.rexmit_timer)
+        ctx.add_timer(conn.rexmit_timer, self.params.rto_cycles)
+        conn.rexmit_armed = True
+
+    # ------------------------------------------------------------------
+    # System calls (process context).
+    # ------------------------------------------------------------------
+
+    def sys_write(self, ctx, conn, nbytes):
+        """``write(fd, buf, nbytes)`` on a blocking TCP socket."""
+        specs = self.specs
+        task_struct = ctx.task._struct
+        ctx.charge(
+            specs["sys_write"],
+            base_instructions("sys_write"),
+            reads=[(task_struct.addr, 128), (conn.file_obj.addr, 64)],
+        )
+        ctx.charge(
+            specs["sock_sendmsg"],
+            base_instructions("sock_sendmsg"),
+            reads=[(conn.file_obj.addr, 64), conn.sock.buf_read(64)],
+        )
+        ctx.charge(
+            specs["inet_sendmsg"],
+            base_instructions("inet_sendmsg"),
+            reads=[conn.sock.tcb_read(64)],
+        )
+        copied = yield from tcp_sendmsg(ctx, self, conn, nbytes)
+        return copied
+
+    def sys_read(self, ctx, conn, nbytes):
+        """``read(fd, buf, nbytes)``: blocks only when no data at all."""
+        specs = self.specs
+        params = self.params
+        sock = conn.sock
+        task_struct = ctx.task._struct
+        ctx.charge(
+            specs["sys_read"],
+            base_instructions("sys_read"),
+            reads=[(task_struct.addr, 128), (conn.file_obj.addr, 64)],
+        )
+        ctx.charge(
+            specs["sock_recvmsg"],
+            base_instructions("sock_recvmsg"),
+            reads=[(conn.file_obj.addr, 64), sock.buf_read(64)],
+        )
+        ctx.charge(
+            specs["inet_recvmsg"],
+            base_instructions("inet_recvmsg"),
+            reads=[sock.tcb_read(64)],
+        )
+        ctx.charge(
+            specs["tcp_recvmsg"],
+            base_instructions("tcp_recvmsg"),
+            reads=[sock.tcb_read(128)],
+            writes=[sock.tcb_write(48)],
+        )
+        copied = 0
+        for op in self.lock_sock(ctx, conn):
+            yield op
+        while copied < nbytes:
+            if not sock.receive_queue:
+                if sock.backlog:
+                    # Data is sitting in our backlog: drain it by
+                    # bouncing ownership (sk_wait_data does the same).
+                    for op in self.release_sock(ctx, conn):
+                        yield op
+                    for op in self.lock_sock(ctx, conn):
+                        yield op
+                    continue
+                if copied > 0 or sock.fin_received:
+                    break  # partial read, or EOF returning 0
+                for op in self.release_sock(ctx, conn):
+                    yield op
+                ctx.charge(
+                    specs["sock_wait"],
+                    base_instructions("sock_wait"),
+                    reads=[sock.buf_read(64)],
+                )
+                yield ("block", sock.rcv_wq,
+                       lambda: (len(sock.receive_queue) > 0
+                                or sock.fin_received))
+                for op in self.lock_sock(ctx, conn):
+                    yield op
+                continue
+            skb = sock.receive_queue[0]
+            chunk = min(nbytes - copied, skb.remaining)
+            ctx.charge(
+                specs["tcp_recvmsg"],
+                55,
+                reads=[sock.tcb_read(64), skb.head_range(64)],
+            )
+            charge_rx_copy(
+                ctx,
+                specs["__copy_to_user"],
+                skb.payload_range(skb.consumed, chunk),
+                conn.user_buffer.field(copied % conn.user_buffer.size, chunk),
+                chunk,
+            )
+            skb.consumed += chunk
+            copied += chunk
+            if skb.remaining == 0:
+                sock.receive_queue.pop(0)
+                sock.rmem_queued -= skb.truesize
+                ctx.charge(
+                    specs["skb_queue_ops"],
+                    base_instructions("skb_queue_ops"),
+                    reads=[sock.buf_read(96)],
+                    writes=[sock.buf_write(128)],
+                )
+                ctx.charge(
+                    specs["sk_stream_mem"],
+                    base_instructions("sk_stream_mem"),
+                    reads=[sock.buf_read(96)],
+                    writes=[sock.buf_write(96)],
+                )
+                self.pools.free(
+                    ctx, specs["kfree_skb"],
+                    base_instructions("kfree_skb"), skb,
+                )
+            # Window management: a drained buffer may owe the sender a
+            # window update (tcp_cleanup_rbuf).
+            ctx.charge(
+                specs["__tcp_select_window"],
+                base_instructions("__tcp_select_window"),
+                reads=[sock.tcb_read(64)],
+            )
+            if sock.window_update_due():
+                for op in tcp_send_ack(ctx, self, conn):
+                    yield op
+            yield ("preempt_check",)
+        for op in self.release_sock(ctx, conn):
+            yield op
+        return copied
+
+    def sys_accept(self, ctx, conn):
+        """``accept()``: block until the connection is established.
+
+        The listening and three-way-handshake work happens in softirq
+        context (see tcp_input.handle_control); the server process
+        sleeps here until the third leg lands.
+        """
+        specs = self.specs
+        sock = conn.sock
+        ctx.charge(
+            specs["sys_accept"],
+            base_instructions("sys_accept"),
+            reads=[(ctx.task._struct.addr, 128), (conn.file_obj.addr, 64)],
+            writes=[(conn.file_obj.addr, 32)],
+        )
+        if not sock.established:
+            yield ("block", sock.rcv_wq, lambda: sock.established)
+        return conn
+
+    def sock_close(self, ctx, conn):
+        """``close()``: acknowledge the peer's FIN and release the sock.
+
+        Our teardown protocol guarantees the queues are drained by the
+        time the server closes, so the reset is residue-free.
+        """
+        specs = self.specs
+        sock = conn.sock
+        for op in self.lock_sock(ctx, conn):
+            yield op
+        ctx.charge(
+            specs["tcp_fin"],
+            base_instructions("tcp_fin"),
+            reads=[sock.tcb_read(192)],
+            writes=[sock.tcb_write(96)],
+        )
+        for op in send_control(ctx, self, conn, "finack"):
+            yield op
+        ctx.charge(
+            specs["inet_csk_destroy_sock"],
+            base_instructions("inet_csk_destroy_sock"),
+            reads=[sock.buf_read(128)],
+            writes=[(sock.obj.addr, 512)],
+        )
+        if conn.rexmit_armed:
+            self.machine.del_timer(conn.rexmit_timer)
+            conn.rexmit_armed = False
+        if sock.delack_pending:
+            self.machine.del_timer(sock.delack_timer)
+            sock.delack_pending = False
+        for op in self.release_sock(ctx, conn):
+            yield op
+        sock.reset_connection()
+        conn.write_seq = 0

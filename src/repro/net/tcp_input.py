@@ -1,0 +1,269 @@
+"""TCP receive path: softirq protocol processing and the sock backlog.
+
+``net_rx_action`` (NET_RX softirq) drains the per-CPU backlog filled
+by the top half, runs each segment through IP and TCP demux, and then
+applies Linux 2.4's socket-lock discipline:
+
+* socket *not owned* by a process -> process the segment right here,
+  in softirq context, holding the socket spinlock (``bh_lock_sock``);
+* socket *owned* (a ``sendmsg``/``recvmsg`` is mid-flight) -> append
+  the segment to the socket backlog; the owning process runs the same
+  code at ``release_sock`` time, in its own context, on its own CPU.
+
+This split is load-bearing for the paper: it keeps the Locks bin tiny
+(bottom halves rarely spin), and it is why heavy engine functions show
+up on the *process* CPU in the paper's per-CPU machine-clear tables.
+"""
+
+from repro.net.params import base_instructions
+from repro.net.tcp_output import (
+    send_control,
+    tcp_retransmit_skb,
+    tcp_send_ack,
+    tcp_write_xmit,
+)
+
+#: Segments processed per softirq invocation before yielding back
+#: (net_rx_action's quota in 2.4).
+NET_RX_BUDGET = 64
+
+#: Duplicate ACKs before fast retransmit (TCP Reno).
+FAST_RETRANSMIT_DUPACKS = 3
+
+
+def net_rx_action(ctx, stack):
+    """The NET_RX softirq handler."""
+    specs = stack.specs
+    softnet = stack.softnet[ctx.cpu_index]
+    ctx.charge(
+        specs["net_rx_action"],
+        base_instructions("net_rx_action"),
+        reads=[softnet.head_range()],
+    )
+    budget = NET_RX_BUDGET
+    while softnet.backlog and budget > 0:
+        budget -= 1
+        skb = softnet.backlog.pop(0)
+        conn = stack.connections[skb.pkt.conn_id]
+        sock = conn.sock
+        # The bottom half timestamps every arriving packet (the bulk of
+        # the paper's RX Timers bin is this do_gettimeofday call).
+        ctx.charge(
+            specs["do_gettimeofday"],
+            base_instructions("do_gettimeofday"),
+            reads=[(stack.xtime.addr, 64)],
+            extra_cycles=700,  # rdtsc + serialization on the P4
+        )
+        ctx.charge(
+            specs["ip_rcv"],
+            base_instructions("ip_rcv"),
+            reads=[skb.header_range(), skb.head_range(64)],
+        )
+        ctx.charge(
+            specs["tcp_v4_rcv"],
+            base_instructions("tcp_v4_rcv"),
+            reads=[sock.tcb_read(320), (stack.ehash.addr, 64)],
+        )
+        yield ("spin", sock.lock)
+        if sock.owned:
+            # Owner is mid-syscall: defer to its context.
+            ctx.charge(
+                specs["skb_queue_ops"],
+                base_instructions("skb_queue_ops"),
+                reads=[sock.buf_read(48)],
+                writes=[sock.buf_write(128), (skb.head.addr, 128)],
+            )
+            sock.backlog.append(skb)
+            sock.backlogged_total += 1
+            ctx.unlock(sock.lock)
+        else:
+            for op in process_segment(ctx, stack, conn, skb):
+                yield op
+            ctx.unlock(sock.lock)
+    if softnet.backlog:
+        # Quota exhausted: leave the rest for another pass.
+        ctx.raise_softirq(stack.NET_RX)
+
+
+def process_segment(ctx, stack, conn, skb):
+    """``tcp_v4_do_rcv``: run one demuxed segment through TCP.
+
+    Called either from softirq (socket lock held) or from process
+    context during backlog drain (socket owned).
+    """
+    specs = stack.specs
+    ctx.charge(
+        specs["tcp_v4_do_rcv"],
+        base_instructions("tcp_v4_do_rcv"),
+        reads=[conn.sock.tcb_read(64)],
+    )
+    if skb.pkt.ctl is not None:
+        for op in handle_control(ctx, stack, conn, skb):
+            yield op
+        stack.pools.free(
+            ctx, specs["kfree_skb"], base_instructions("kfree_skb"), skb
+        )
+        return
+    if skb.is_ack or skb.len == 0:
+        for op in tcp_ack(ctx, stack, conn, skb):
+            yield op
+        stack.pools.free(
+            ctx, specs["kfree_skb"], base_instructions("kfree_skb"), skb
+        )
+    else:
+        for op in tcp_rcv_established(ctx, stack, conn, skb):
+            yield op
+
+
+def handle_control(ctx, stack, conn, skb):
+    """Connection-lifecycle segments: the server side of setup and
+    teardown (SYN -> SYNACK, third-leg ACK -> ESTABLISHED, FIN -> EOF).
+    """
+    sock = conn.sock
+    specs = stack.specs
+    ctl = skb.pkt.ctl
+    if ctl == "syn":
+        # tcp_v4_conn_request + minisock allocation.
+        ctx.charge(
+            specs["tcp_v4_conn_request"],
+            base_instructions("tcp_v4_conn_request"),
+            reads=[sock.tcb_read(320), (stack.ehash.addr, 128)],
+            writes=[sock.tcb_write(128)],
+        )
+        ctx.charge(
+            specs["tcp_create_openreq_child"],
+            base_instructions("tcp_create_openreq_child"),
+            reads=[sock.buf_read(128)],
+            writes=[(sock.obj.addr, 512)],
+        )
+        for op in send_control(ctx, stack, conn, "synack"):
+            yield op
+    elif ctl == "estab_ack":
+        ctx.charge(
+            specs["tcp_v4_syn_recv_sock"],
+            base_instructions("tcp_v4_syn_recv_sock"),
+            reads=[sock.tcb_read(256)],
+            writes=[sock.tcb_write(128)],
+        )
+        sock.established = True
+        if sock.rcv_wq.waiters:
+            ctx.wake_up(sock.rcv_wq)
+    elif ctl == "fin":
+        ctx.charge(
+            specs["tcp_fin"],
+            base_instructions("tcp_fin"),
+            reads=[sock.tcb_read(192)],
+            writes=[sock.tcb_write(96)],
+        )
+        sock.fin_received = True
+        if sock.rcv_wq.waiters:
+            ctx.wake_up(sock.rcv_wq)
+    elif ctl in ("synack", "finack"):
+        # These are client-side segments; a server socket receiving
+        # one indicates a protocol bug in the experiment wiring.
+        raise RuntimeError("server received client control %r" % ctl)
+    else:
+        raise RuntimeError("unknown control segment %r" % ctl)
+
+
+def tcp_ack(ctx, stack, conn, skb):
+    """Process an incoming ACK: advance ``snd_una``, free acked skbs,
+    open the window, wake a blocked writer, continue transmitting."""
+    sock = conn.sock
+    specs = stack.specs
+    sock.acks_in += 1
+    ctx.charge(
+        specs["tcp_ack"],
+        base_instructions("tcp_ack"),
+        reads=[sock.tcb_read(576), skb.header_range()],
+        writes=[sock.tcb_write(256)],
+    )
+    old_una = sock.snd_una
+    freed = sock.ack_clean(skb.pkt.ack_seq)
+    sock.snd_wnd = skb.pkt.window
+    # Duplicate-ACK accounting and fast retransmit (Reno): three
+    # duplicates for the same sequence point to a lost segment.
+    if skb.pkt.ack_seq == old_una and sock.in_flight > 0:
+        sock.dupacks += 1
+        if sock.dupacks == FAST_RETRANSMIT_DUPACKS:
+            conn.fast_retransmits += 1
+            for op in tcp_retransmit_skb(ctx, stack, conn):
+                yield op
+    elif skb.pkt.ack_seq > old_una:
+        sock.dupacks = 0
+    for acked in freed:
+        ctx.charge(
+            specs["sk_stream_mem"],
+            base_instructions("sk_stream_mem"),
+            reads=[sock.buf_read(64)],
+            writes=[sock.buf_write(48)],
+        )
+        stack.pools.free(
+            ctx, specs["kfree_skb"], base_instructions("kfree_skb"), acked
+        )
+        conn.bytes_acked += acked.len
+    # Retransmit timer: cancelled when the pipe drains, pushed out on
+    # every ACK otherwise -- the mod_timer churn behind the paper's TX
+    # Timers bin.
+    if sock.in_flight == 0:
+        if conn.rexmit_armed:
+            ctx.charge(specs["del_timer"], base_instructions("del_timer"),
+                       writes=[sock.buf_write(32)])
+            stack.machine.del_timer(sock.rexmit_timer)
+            conn.rexmit_armed = False
+    else:
+        stack.arm_rexmit_timer(ctx, conn)
+    # Wake a writer blocked on buffer space (sk_stream_write_space).
+    if freed and sock.snd_wq.waiters and (
+        sock.sndbuf_free() >= stack.params.sndbuf // 3
+    ):
+        ctx.wake_up(sock.snd_wq)
+    # An opened window may let queued segments go out right here, in
+    # softirq context, on this CPU.
+    if sock.send_head < len(sock.send_queue):
+        for op in tcp_write_xmit(ctx, stack, conn):
+            yield op
+    return
+
+
+def tcp_rcv_established(ctx, stack, conn, skb):
+    """Fast-path receive: queue data, schedule ACK, wake the reader."""
+    sock = conn.sock
+    specs = stack.specs
+    params = stack.params
+    if not params.rx_csum_offload and skb.len > 0:
+        from repro.net.copies import charge_rx_csum
+
+        charge_rx_csum(ctx, specs["csum_partial"],
+                       skb.payload_range(0, skb.len), skb.len)
+    ctx.charge(
+        specs["tcp_rcv_established"],
+        base_instructions("tcp_rcv_established"),
+        reads=[sock.tcb_read(640), skb.header_range(), skb.head_range(128)],
+        writes=[sock.tcb_write(256)],
+    )
+    sock.receive_data(skb)
+    ctx.charge(
+        specs["skb_queue_ops"],
+        base_instructions("skb_queue_ops"),
+        reads=[sock.buf_read(64)],
+        writes=[sock.buf_write(128), (skb.head.addr, 256)],
+    )
+    ctx.charge(
+        specs["sk_stream_mem"],
+        base_instructions("sk_stream_mem"),
+        reads=[sock.buf_read(96)],
+        writes=[sock.buf_write(96)],
+    )
+    sock.segs_since_ack += 1
+    if sock.segs_since_ack >= params.ack_every:
+        for op in tcp_send_ack(ctx, stack, conn):
+            yield op
+    elif not sock.delack_pending:
+        ctx.charge(specs["mod_timer"], base_instructions("mod_timer"),
+                   writes=[sock.buf_write(32)])
+        ctx.add_timer(sock.delack_timer, params.delack_cycles)
+        sock.delack_pending = True
+    if sock.rcv_wq.waiters:
+        ctx.wake_up(sock.rcv_wq)
+    return

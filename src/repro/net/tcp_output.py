@@ -1,0 +1,259 @@
+"""TCP transmit path: sendmsg, segmentation/Nagle, transmit, ACKs.
+
+All functions are generators run in process or softirq context; they
+assume the conventions of :mod:`repro.kernel.machine` (``("spin",
+lock)`` to acquire, ``ctx.unlock`` to release).  Charging follows the
+paper's bins: engine work here, buffer management in
+:mod:`repro.net.skbuff` helpers, driver work in :mod:`repro.net.dev`.
+"""
+
+from repro.net.copies import charge_tx_copy
+from repro.net.dev import dev_queue_xmit
+from repro.net.packet import ack_packet, control_packet, data_packet
+from repro.net.params import base_instructions
+
+
+def tcp_sendmsg(ctx, stack, conn, nbytes):
+    """``tcp_sendmsg``: copy user data into the socket, send what the
+    window allows, block when the send buffer is full.
+
+    Returns the byte count (== ``nbytes``; TCP writes are complete).
+    The socket is *owned* (lock_sock) for the duration of the call;
+    ACKs arriving meanwhile are backlogged by the softirq and processed
+    here, in our context, whenever we release (including around
+    blocking waits) -- exactly the 2.4 discipline.
+    """
+    sock = conn.sock
+    specs = stack.specs
+    params = stack.params
+    mss = params.mss
+    copied = 0
+    ctx.charge(
+        specs["tcp_sendmsg"],
+        base_instructions("tcp_sendmsg"),
+        reads=[sock.tcb_read()],
+        writes=[sock.tcb_write(64)],
+    )
+    for op in stack.lock_sock(ctx, conn):
+        yield op
+    while copied < nbytes:
+        tail = sock.tail_unsent()
+        if tail is not None and tail.room(mss) > 0:
+            skb = tail
+            chunk = min(tail.room(mss), nbytes - copied)
+        elif sock.can_queue_skb():
+            skb = stack.pools.alloc(
+                ctx, specs["alloc_skb"], base_instructions("alloc_skb"),
+                conn=conn,
+            )
+            ctx.charge(
+                specs["sk_stream_mem"],
+                base_instructions("sk_stream_mem"),
+                reads=[sock.buf_read(96)],
+                writes=[sock.buf_write(64)],
+            )
+            skb.seq = conn.write_seq
+            skb.end_seq = skb.seq
+            sock.send_queue.append(skb)
+            sock.wmem_queued += skb.truesize
+            chunk = min(min(mss, skb.room(mss)), nbytes - copied)
+        else:
+            # Send buffer full (sk_stream_wait_memory): release the
+            # socket -- draining backlogged ACKs, which may already
+            # free space -- then sleep until woken by write_space.
+            for op in stack.release_sock(ctx, conn):
+                yield op
+            ctx.charge(
+                specs["sock_wait"],
+                base_instructions("sock_wait"),
+                reads=[sock.buf_read(64)],
+            )
+            yield ("block", sock.snd_wq, sock.can_queue_skb)
+            for op in stack.lock_sock(ctx, conn):
+                yield op
+            continue
+        # Per-chunk engine work: window math, sequence bookkeeping.
+        ctx.charge(
+            specs["tcp_sendmsg"],
+            90,
+            reads=[sock.tcb_read(320)],
+            writes=[sock.tcb_write(64)],
+        )
+        charge_tx_copy(
+            ctx,
+            specs["csum_and_copy_from_user"],
+            conn.user_buffer.field(copied, chunk),
+            skb.payload_range(skb.len, chunk),
+            chunk,
+            csum_offload=params.tx_csum_offload,
+        )
+        skb.len += chunk
+        skb.end_seq = skb.seq + skb.len
+        conn.write_seq += chunk
+        copied += chunk
+        for op in tcp_write_xmit(ctx, stack, conn):
+            yield op
+        yield ("preempt_check",)
+    for op in stack.release_sock(ctx, conn):
+        yield op
+    return copied
+
+
+def tcp_write_xmit(ctx, stack, conn):
+    """Transmit queued segments while the send window allows.
+
+    Caller holds the socket lock.  Runs from process context (after a
+    write) *and* from softirq context (when an ACK opens the window) --
+    the latter is how transmit work lands on the interrupt CPU, one of
+    the cross-CPU couplings affinity removes.
+    """
+    sock = conn.sock
+    specs = stack.specs
+    params = stack.params
+    sent = 0
+    while sock.send_head < len(sock.send_queue):
+        skb = sock.send_queue[sock.send_head]
+        if not sock.window_allows(skb.len):
+            break
+        if skb.len < params.mss and sock.in_flight > 0:
+            break  # Nagle: hold the partial segment while data is out
+        ctx.charge(
+            specs["tcp_write_xmit"],
+            base_instructions("tcp_write_xmit"),
+            reads=[sock.tcb_read(96)],
+        )
+        for op in tcp_transmit_skb(ctx, stack, conn, skb):
+            yield op
+        sock.send_head += 1
+        was_empty_pipe = sock.in_flight == 0
+        sock.snd_nxt = skb.end_seq
+        sock.segs_out += 1
+        sent += 1
+        if was_empty_pipe:
+            stack.arm_rexmit_timer(ctx, conn)
+    return sent
+
+
+def tcp_transmit_skb(ctx, stack, conn, skb):
+    """Build headers, clone for the driver, hand to the device queue."""
+    sock = conn.sock
+    specs = stack.specs
+    ctx.charge(
+        specs["tcp_transmit_skb"],
+        base_instructions("tcp_transmit_skb"),
+        reads=[sock.tcb_read(512), skb.head_range(128)],
+        writes=[sock.tcb_write(192), skb.header_range()],
+    )
+    ctx.charge(
+        specs["__tcp_select_window"],
+        base_instructions("__tcp_select_window"),
+        reads=[sock.tcb_read(64)],
+    )
+    window = sock.advertised_window()
+    sock.last_window_advertised = window
+    packet = data_packet(
+        conn.conn_id, skb.seq, skb.len, ack_seq=sock.rcv_nxt, window=window
+    )
+    # The retransmit queue keeps the original; the driver consumes a
+    # clone (freed at TX-complete in the NET_TX softirq).
+    clone = stack.pools.clone(
+        ctx, specs["alloc_skb"], 120, skb
+    )
+    for op in ip_queue_xmit(ctx, stack, conn, clone, packet):
+        yield op
+
+
+def ip_queue_xmit(ctx, stack, conn, skb, packet):
+    """IP output: route lookup (cached), header fill, to the device."""
+    specs = stack.specs
+    ctx.charge(
+        specs["ip_queue_xmit"],
+        base_instructions("ip_queue_xmit"),
+        reads=[(stack.route_cache.addr, 128)],
+        writes=[skb.header_range()],
+    )
+    for op in dev_queue_xmit(ctx, stack, conn.nic, skb, packet):
+        yield op
+
+
+def send_control(ctx, stack, conn, ctl):
+    """Emit a connection-lifecycle segment (SYNACK / FINACK / FIN).
+
+    Charged like a small transmit; caller holds the socket lock (or
+    owns the socket)."""
+    sock = conn.sock
+    specs = stack.specs
+    skb = stack.pools.alloc(
+        ctx, specs["alloc_skb"], base_instructions("alloc_skb"), conn=conn
+    )
+    skb.is_ack = True  # control segments carry no payload
+    packet = control_packet(
+        conn.conn_id, ctl, window=sock.advertised_window()
+    )
+    ctx.charge(
+        specs["tcp_transmit_skb"],
+        150,
+        reads=[sock.tcb_read(128)],
+        writes=[skb.header_range()],
+    )
+    for op in ip_queue_xmit(ctx, stack, conn, skb, packet):
+        yield op
+
+
+def tcp_retransmit_skb(ctx, stack, conn):
+    """Retransmit the oldest unacknowledged segment (RTO or fast
+    retransmit).  Caller holds the socket lock."""
+    sock = conn.sock
+    if sock.send_head == 0 or not sock.send_queue:
+        return  # nothing in flight
+    skb = sock.send_queue[0]
+    specs = stack.specs
+    ctx.charge(
+        specs["tcp_retransmit_skb"],
+        base_instructions("tcp_retransmit_skb"),
+        reads=[sock.tcb_read(512), skb.head_range(128)],
+        writes=[sock.tcb_write(128), skb.header_range()],
+    )
+    packet = data_packet(
+        conn.conn_id, skb.seq, skb.len,
+        ack_seq=sock.rcv_nxt, window=sock.advertised_window(),
+    )
+    clone = stack.pools.clone(ctx, specs["alloc_skb"], 120, skb)
+    conn.retransmitted_segments += 1
+    for op in ip_queue_xmit(ctx, stack, conn, clone, packet):
+        yield op
+
+
+def tcp_send_ack(ctx, stack, conn):
+    """Emit a pure ACK (delayed-ACK fire, every-other-segment, or a
+    window update from the reader).  Caller holds the socket lock."""
+    sock = conn.sock
+    specs = stack.specs
+    ctx.charge(
+        specs["tcp_send_ack"],
+        base_instructions("tcp_send_ack"),
+        reads=[sock.tcb_read(96)],
+        writes=[sock.tcb_write(32)],
+    )
+    skb = stack.pools.alloc(
+        ctx, specs["alloc_skb"], base_instructions("alloc_skb"), conn=conn
+    )
+    skb.is_ack = True
+    window = sock.advertised_window()
+    packet = ack_packet(conn.conn_id, sock.rcv_nxt, window)
+    sock.last_window_advertised = window
+    sock.segs_since_ack = 0
+    sock.acks_out += 1
+    if sock.delack_pending:
+        ctx.charge(specs["del_timer"], base_instructions("del_timer"),
+                   writes=[sock.buf_write(32)])
+        stack.machine.del_timer(sock.delack_timer)
+        sock.delack_pending = False
+    ctx.charge(
+        specs["tcp_transmit_skb"],
+        140,
+        reads=[sock.tcb_read(96)],
+        writes=[skb.header_range()],
+    )
+    for op in ip_queue_xmit(ctx, stack, conn, skb, packet):
+        yield op

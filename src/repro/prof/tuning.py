@@ -1,0 +1,139 @@
+"""A VTune-7.1-style tuning assistant.
+
+The paper's Section 6.2 methodology comes from the VTune Performance
+Analyzer 7.1 Tuning Assistant: compute event-count x expected-penalty
+indicators and advise where to look.  This module reproduces that
+workflow over a run's accounting: it ranks the indicator events and
+emits the corresponding advice strings, per bin or for the whole run.
+
+It is deliberately rule-based and first-order, like the original.
+"""
+
+from repro.cpu.events import (
+    BRANCHES,
+    BR_MISPREDICTS,
+    CYCLES,
+    INSTRUCTIONS,
+    LLC_MISSES,
+    MACHINE_CLEARS,
+    TC_MISSES,
+)
+
+#: Advice fired when an event's attributed time share crosses its
+#: threshold: (label, share threshold, advice).
+RULES = (
+    ("machine_clears", 0.15,
+     "Machine clears dominate: look for asynchronous interruptions "
+     "(device interrupts, IPIs) and memory-ordering conflicts; "
+     "consider binding interrupts and threads to processors."),
+    ("llc_misses", 0.15,
+     "Last-level cache misses dominate: working set exceeds or "
+     "migrates between caches; improve locality or processor "
+     "affinity."),
+    ("tc_misses", 0.05,
+     "Trace-cache misses are significant: the hot code path exceeds "
+     "the trace cache; reduce code footprint or call fan-out."),
+    ("br_mispredicts", 0.05,
+     "Branch mispredictions are significant: investigate data-"
+     "dependent branches and spin loops."),
+)
+
+#: CPI bands from the VTune guidance the paper quotes: "a CPI value of
+#: 1 is considered good, and a value of 5 is considered poor".
+CPI_GOOD = 1.0
+CPI_POOR = 5.0
+
+
+class Advice:
+    """One finding: the triggering metric and the guidance text."""
+
+    __slots__ = ("subject", "metric", "value", "text")
+
+    def __init__(self, subject, metric, value, text):
+        self.subject = subject
+        self.metric = metric
+        self.value = value
+        self.text = text
+
+    def __repr__(self):
+        return "Advice(%s: %s=%.3f)" % (self.subject, self.metric,
+                                        self.value)
+
+
+def _share(vec, event, unit_cost, total_cycles):
+    if total_cycles <= 0:
+        return 0.0
+    return vec[event] * unit_cost / float(total_cycles)
+
+
+def analyze(result, costs):
+    """Run the assistant over one experiment result.
+
+    Returns a list of :class:`Advice`, highest-impact first.
+    """
+    total_cycles = result.stack_total(CYCLES)
+    vec = [result.stack_total(i) for i in range(11)]
+    out = []
+
+    # Overall CPI banding.
+    instructions = vec[INSTRUCTIONS]
+    cpi = vec[CYCLES] / float(instructions) if instructions else 0.0
+    if cpi >= CPI_POOR:
+        out.append(Advice(
+            "overall", "cpi", cpi,
+            "Overall CPI of %.1f is poor (VTune: 1 good, 5 poor); the "
+            "workload is stall-bound, not compute-bound." % cpi,
+        ))
+    elif cpi > CPI_GOOD * 2:
+        out.append(Advice(
+            "overall", "cpi", cpi,
+            "Overall CPI of %.1f leaves headroom; check the event "
+            "indicators below." % cpi,
+        ))
+
+    event_map = {
+        "machine_clears": (MACHINE_CLEARS, costs.machine_clear),
+        "llc_misses": (LLC_MISSES, costs.llc_miss),
+        "tc_misses": (TC_MISSES, costs.tc_miss),
+        "br_mispredicts": (BR_MISPREDICTS, costs.br_mispredict),
+    }
+    fired = []
+    for label, threshold, text in RULES:
+        event, unit = event_map[label]
+        share = _share(vec, event, unit, total_cycles)
+        if share >= threshold:
+            fired.append(Advice("overall", label, share, text))
+    fired.sort(key=lambda a: -a.value)
+    out.extend(fired)
+
+    # Per-bin callouts for pathological CPIs (the paper's interface
+    # and locks observations).
+    from repro.core.characterization import STACK_BINS
+
+    for bin in STACK_BINS:
+        bvec = result.bin_vector(bin)
+        instr = bvec[INSTRUCTIONS]
+        if not instr:
+            continue
+        bin_cpi = bvec[CYCLES] / float(instr)
+        bin_share = bvec[CYCLES] / float(total_cycles)
+        if bin_cpi >= CPI_POOR and bin_share >= 0.005:
+            out.append(Advice(
+                bin, "cpi", bin_cpi,
+                "Bin '%s' runs at CPI %.1f (%.1f%% of time): expect "
+                "serialization (system calls) or contention (locks) "
+                "rather than useful work." % (bin, bin_cpi,
+                                              bin_share * 100),
+            ))
+    return out
+
+
+def render_advice(advice):
+    """Format the assistant's findings as text."""
+    if not advice:
+        return "Tuning assistant: no significant findings."
+    lines = ["Tuning assistant findings:"]
+    for item in advice:
+        lines.append("  [%-8s %s=%.2f] %s"
+                     % (item.subject, item.metric, item.value, item.text))
+    return "\n".join(lines)

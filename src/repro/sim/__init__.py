@@ -1,0 +1,39 @@
+"""Discrete-event simulation kernel.
+
+This subpackage provides the machinery every other layer of the
+reproduction is built on: a deterministic event queue driven in
+simulated *CPU cycles* (:mod:`repro.sim.events`), named deterministic
+random-number streams (:mod:`repro.sim.rng`) and unit conversion
+helpers (:mod:`repro.sim.units`).
+
+The simulation is *conservative*: the engine always advances the
+globally earliest pending event, so cross-resource interactions (e.g.
+one CPU invalidating a cache line another CPU is about to read) are
+observed in a causally consistent order.
+"""
+
+from repro.sim.events import Event, EventQueue, SimulationEngine
+from repro.sim.rng import RngStreams
+from repro.sim.units import (
+    CYCLES_PER_SECOND_2GHZ,
+    bits_to_bytes,
+    bytes_to_bits,
+    cycles_to_seconds,
+    gbps,
+    mbps,
+    seconds_to_cycles,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SimulationEngine",
+    "RngStreams",
+    "CYCLES_PER_SECOND_2GHZ",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+    "gbps",
+    "mbps",
+]

@@ -1,0 +1,145 @@
+"""The discrete-event engine.
+
+The engine maintains a priority queue of :class:`Event` objects ordered
+by simulated time (in CPU cycles).  Components schedule callbacks; the
+engine repeatedly pops the earliest event and runs it.  Ties are broken
+by insertion order, which keeps runs deterministic.
+
+Events may be cancelled; cancellation is lazy (the heap entry stays in
+place and is skipped on pop), the standard technique for binary-heap
+schedulers.
+"""
+
+import heapq
+import itertools
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are handed back by :meth:`EventQueue.schedule` so callers
+    can cancel them later.  ``time`` is the simulated cycle at which the
+    callback fires; ``order`` is the deterministic tie-breaker.
+    """
+
+    __slots__ = ("time", "order", "callback", "cancelled", "label")
+
+    def __init__(self, time, order, callback, label=""):
+        self.time = time
+        self.order = order
+        self.callback = callback
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self):
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        if self.time != other.time:
+            return self.time < other.time
+        return self.order < other.order
+
+    def __repr__(self):
+        state = " cancelled" if self.cancelled else ""
+        return "Event(t=%d, %s%s)" % (self.time, self.label or self.callback, state)
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self):
+        self._heap = []
+        self._counter = itertools.count()
+
+    def __len__(self):
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, time, callback, label=""):
+        """Schedule ``callback`` to run at simulated cycle ``time``."""
+        if time < 0:
+            raise ValueError("cannot schedule an event at negative time %r" % time)
+        event = Event(time, next(self._counter), callback, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self):
+        """Pop and return the earliest live event, or ``None`` when drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self):
+        """Return the time of the earliest live event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+
+class SimulationEngine:
+    """Drives the event queue and owns the global simulated clock.
+
+    The clock (:attr:`now`) is the time of the most recently fired
+    event.  Resources that model their own local progress (CPUs) keep
+    private clocks and re-enter the engine by scheduling continuation
+    events, so ``now`` is always the global causal frontier.
+    """
+
+    def __init__(self):
+        self.queue = EventQueue()
+        self.now = 0
+        self._stopped = False
+        self.events_fired = 0
+
+    def schedule_at(self, time, callback, label=""):
+        """Schedule ``callback`` at absolute cycle ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(
+                "event at t=%d is in the past (now=%d)" % (time, self.now)
+            )
+        return self.queue.schedule(time, callback, label)
+
+    def schedule_after(self, delay, callback, label=""):
+        """Schedule ``callback`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError("negative delay %r" % delay)
+        return self.queue.schedule(self.now + delay, callback, label)
+
+    def stop(self):
+        """Request the run loop to exit after the current event."""
+        self._stopped = True
+
+    def run(self, until=None, max_events=None):
+        """Run events in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire strictly after this
+            cycle (the event is left in the queue).
+        max_events:
+            Safety valve against runaway simulations.
+
+        Returns the number of events fired during this call.
+        """
+        fired = 0
+        self._stopped = False
+        while not self._stopped:
+            if max_events is not None and fired >= max_events:
+                break
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            event = self.queue.pop()
+            self.now = event.time
+            event.callback()
+            fired += 1
+        self.events_fired += fired
+        return fired

@@ -1,0 +1,108 @@
+"""Unit and property tests for the statistics module."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    is_significant,
+    rankdata,
+    spearman_critical_value,
+    spearman_rank_correlation,
+)
+
+
+class TestRankdata:
+    def test_simple(self):
+        assert rankdata([10, 30, 20]) == [1.0, 3.0, 2.0]
+
+    def test_ties_share_average_rank(self):
+        assert rankdata([5, 5, 1]) == [2.5, 2.5, 1.0]
+
+    def test_all_equal(self):
+        assert rankdata([7, 7, 7]) == [2.0, 2.0, 2.0]
+
+
+class TestSpearman:
+    def test_perfect_positive(self):
+        assert spearman_rank_correlation([1, 2, 3, 4], [10, 20, 30, 40]) == (
+            pytest.approx(1.0)
+        )
+
+    def test_perfect_negative(self):
+        assert spearman_rank_correlation([1, 2, 3], [9, 5, 1]) == (
+            pytest.approx(-1.0)
+        )
+
+    def test_monotone_nonlinear_is_still_one(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [x ** 3 for x in xs]
+        assert spearman_rank_correlation(xs, ys) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # Classic textbook example.
+        xs = [106, 86, 100, 101, 99, 103, 97, 113, 112, 110]
+        ys = [7, 0, 27, 50, 28, 29, 20, 12, 6, 17]
+        rho = spearman_rank_correlation(xs, ys)
+        assert rho == pytest.approx(-0.1758, abs=0.0001)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1, 2], [1])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1], [1])
+
+    def test_constant_series_is_zero(self):
+        assert spearman_rank_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    def test_bounded(self, xs):
+        ys = list(range(len(xs)))
+        rho = spearman_rank_correlation(xs, ys)
+        assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9
+
+    @given(
+        st.lists(st.integers(min_value=-1000, max_value=1000),
+                 min_size=3, max_size=20, unique=True)
+    )
+    def test_self_correlation_is_one(self, xs):
+        assert spearman_rank_correlation(xs, xs) == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.integers(min_value=-1000, max_value=1000),
+                 min_size=3, max_size=20, unique=True)
+    )
+    def test_symmetry(self, xs):
+        ys = [((x * 31) % 97) for x in xs]
+        assert spearman_rank_correlation(xs, ys) == pytest.approx(
+            spearman_rank_correlation(ys, xs)
+        )
+
+
+class TestCriticalValues:
+    def test_paper_sample_size(self):
+        # Seven bins: exact one-tailed p=0.05 critical value.
+        assert spearman_critical_value(7) == pytest.approx(0.714)
+
+    def test_paper_printed_value(self):
+        assert spearman_critical_value(7, exact=False) == pytest.approx(0.377)
+
+    def test_large_sample_approximation(self):
+        value = spearman_critical_value(100)
+        assert 0.1 < value < 0.2
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            spearman_critical_value(3)
+
+    def test_significance(self):
+        assert is_significant(0.9, 7)
+        assert not is_significant(0.5, 7)
+        assert is_significant(0.5, 7, exact=False)

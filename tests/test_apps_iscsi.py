@@ -1,0 +1,97 @@
+"""Tests for the iSCSI-target workload and initiator peer."""
+
+import pytest
+
+from repro.apps.iscsi import COMMAND_BYTES, IscsiTargetWorkload
+from repro.core.modes import apply_affinity
+from repro.kernel.machine import Machine
+from repro.net.params import NetParams
+from repro.net.stack import NetworkStack
+
+MS = 2_000_000
+
+
+def build(n=2, block=8192, affinity="none", seed=8):
+    machine = Machine(n_cpus=2, seed=seed)
+    stack = NetworkStack(machine, NetParams(), n_connections=n,
+                         mode="iscsi", message_size=block)
+    workload = IscsiTargetWorkload(machine, stack, block)
+    tasks = workload.spawn_all()
+    apply_affinity(machine, stack, tasks, affinity)
+    machine.start()
+    stack.start_peers()
+    return machine, stack, workload
+
+
+class TestIscsiFlow:
+    @pytest.fixture(scope="class")
+    def run(self):
+        machine, stack, workload = build()
+        machine.run_for(15 * MS)
+        return machine, stack, workload
+
+    def test_commands_served(self, run):
+        _, _, workload = run
+        assert workload.total_commands() > 0
+        assert workload.total_bytes() == (
+            workload.total_commands() * 8192
+        )
+
+    def test_request_response_pairing(self, run):
+        _, stack, workload = run
+        for conn in stack.connections:
+            peer = conn.peer
+            served = workload.commands_served[conn.conn_id]
+            # The initiator never has more than queue_depth outstanding.
+            assert (
+                peer.commands_sent - peer.responses_completed
+                <= peer.queue_depth
+            )
+            # Responses the peer completed were all actually served.
+            assert peer.responses_completed <= served + peer.queue_depth
+
+    def test_both_directions_active(self, run):
+        _, stack, _ = run
+        for conn in stack.connections:
+            sock = conn.sock
+            assert sock.snd_nxt > 0      # data out
+            assert sock.rcv_nxt > 0      # commands in
+            assert sock.rcv_nxt % COMMAND_BYTES == 0
+
+    def test_no_drops(self, run):
+        _, stack, _ = run
+        assert sum(n.rx_drops for n in stack.nics) == 0
+
+    def test_iops_math(self, run):
+        machine, _, workload = run
+        iops = workload.iops(machine.engine.now, machine.hz)
+        assert iops > 0
+
+
+class TestIscsiAffinity:
+    def test_full_affinity_helps(self):
+        results = {}
+        for mode in ("none", "full"):
+            machine, _, workload = build(n=8, affinity=mode)
+            machine.run_for(10 * MS)
+            machine.reset_measurement()
+            machine.run_for(12 * MS)
+            results[mode] = workload.iops(
+                machine.window_cycles, machine.hz
+            )
+        assert results["full"] > results["none"] * 1.1
+
+
+class TestValidation:
+    def test_requires_iscsi_stack(self):
+        machine = Machine(n_cpus=2, seed=1)
+        stack = NetworkStack(machine, NetParams(), n_connections=1,
+                             mode="tx", message_size=8192)
+        with pytest.raises(ValueError):
+            IscsiTargetWorkload(machine, stack, 8192)
+
+    def test_stack_rejects_unknown_mode(self):
+        machine = Machine(n_cpus=2, seed=1)
+        with pytest.raises(ValueError):
+            NetworkStack(machine, NetParams(), n_connections=1,
+                         mode="carrier-pigeon", message_size=64)

@@ -1,0 +1,145 @@
+"""Property-based model checking of the coherence protocol.
+
+Hypothesis drives random read/write/DMA sequences over a small set of
+cache lines on two CPUs and checks protocol invariants after every
+step:
+
+* at most one dirty owner per line;
+* the owner is always in the sharer set;
+* a domain never holds a line in cache that the directory does not
+  list it as sharing (directory over-approximates, never under);
+* reading a line immediately after a remote write always misses;
+* repeated local access never misses (hit stability).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.core import Cpu
+from repro.cpu.function import FunctionTable
+from repro.cpu.params import CacheGeometry, CostModel, CpuParams, TlbGeometry
+from repro.mem.layout import CACHE_LINE, AddressSpace
+from repro.mem.system import OWNER, SHARERS, MemorySystem
+from repro.prof.accounting import ExactAccounting
+
+N_LINES = 6
+
+
+def build_rig():
+    params = CpuParams(
+        l1=CacheGeometry(1024, 4, name="L1"),
+        l2=CacheGeometry(4096, 4, name="L2"),
+        l3=CacheGeometry(16384, 4, name="L3"),
+        itlb=TlbGeometry(8, name="I"),
+        dtlb=TlbGeometry(8, name="D"),
+        trace_cache=CacheGeometry(2048, 4, name="TC"),
+    )
+    space = AddressSpace()
+    functions = FunctionTable(space)
+    memsys = MemorySystem()
+    acct = ExactAccounting()
+    cpus = [Cpu(i, params, CostModel(), memsys, acct) for i in range(2)]
+    fn = functions.register("prop_fn", "engine", branch_frac=0.0)
+    obj = space.alloc("prop", CACHE_LINE * N_LINES)
+    return memsys, cpus, fn, obj
+
+
+ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1),      # cpu
+        st.integers(min_value=0, max_value=N_LINES - 1),  # line index
+        st.sampled_from(["r", "w", "dma_w", "dma_r"]),
+    ),
+    max_size=120,
+)
+
+
+def apply(memsys, cpus, fn, obj, op):
+    cpu_index, line_index, kind = op
+    addr = obj.addr + line_index * CACHE_LINE
+    if kind == "r":
+        cpus[cpu_index].charge(fn, 5, reads=[(addr, CACHE_LINE)])
+    elif kind == "w":
+        cpus[cpu_index].charge(fn, 5, writes=[(addr, CACHE_LINE)])
+    elif kind == "dma_w":
+        memsys.dma_write(addr, CACHE_LINE)
+    else:
+        memsys.dma_read(addr, CACHE_LINE)
+
+
+def check_invariants(memsys, cpus, obj):
+    for line in obj.lines():
+        entry = memsys.directory.get(line)
+        if entry is None:
+            continue
+        owner = entry[OWNER]
+        sharers = entry[SHARERS]
+        # Owner implies sharer.
+        if owner >= 0:
+            assert sharers & (1 << owner), (
+                "owner %d not in sharers 0b%s" % (owner, bin(sharers))
+            )
+        # Cached implies listed as sharer (directory over-approximates).
+        for cpu in cpus:
+            resident = (
+                cpu.l1.probe(line) or cpu.l2.probe(line) or cpu.l3.probe(line)
+            )
+            if resident:
+                assert sharers & (1 << cpu.domain), (
+                    "CPU%d caches line %d without a directory bit"
+                    % (cpu.index, line)
+                )
+
+
+class TestCoherenceProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(ops)
+    def test_invariants_hold_along_any_trace(self, trace):
+        memsys, cpus, fn, obj = build_rig()
+        for op in trace:
+            apply(memsys, cpus, fn, obj, op)
+            check_invariants(memsys, cpus, obj)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops, st.integers(min_value=0, max_value=N_LINES - 1))
+    def test_remote_write_forces_miss(self, trace, line_index):
+        from repro.cpu.events import LLC_MISSES
+
+        memsys, cpus, fn, obj = build_rig()
+        for op in trace:
+            apply(memsys, cpus, fn, obj, op)
+        addr = obj.addr + line_index * CACHE_LINE
+        cpus[1].charge(fn, 5, writes=[(addr, CACHE_LINE)])
+        before = cpus[0].totals[LLC_MISSES]
+        cpus[0].charge(fn, 5, reads=[(addr, CACHE_LINE)])
+        assert cpus[0].totals[LLC_MISSES] == before + 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops, st.integers(min_value=0, max_value=N_LINES - 1))
+    def test_local_hit_stability(self, trace, line_index):
+        from repro.cpu.events import LLC_MISSES
+
+        memsys, cpus, fn, obj = build_rig()
+        for op in trace:
+            apply(memsys, cpus, fn, obj, op)
+        addr = obj.addr + line_index * CACHE_LINE
+        cpus[0].charge(fn, 5, reads=[(addr, CACHE_LINE)])
+        before = cpus[0].totals[LLC_MISSES]
+        for _ in range(3):
+            cpus[0].charge(fn, 5, reads=[(addr, CACHE_LINE)])
+        assert cpus[0].totals[LLC_MISSES] == before
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops)
+    def test_dma_write_leaves_no_residue(self, trace):
+        memsys, cpus, fn, obj = build_rig()
+        for op in trace:
+            apply(memsys, cpus, fn, obj, op)
+        memsys.dma_write(obj.addr, obj.size)
+        for line in obj.lines():
+            for cpu in cpus:
+                assert not cpu.l1.probe(line)
+                assert not cpu.l2.probe(line)
+                assert not cpu.l3.probe(line)
+            assert memsys.sharers_of(line) == 0
+            assert memsys.owner_of(line) == -1

@@ -1,0 +1,83 @@
+"""Cross-cutting consistency checks on the whole system.
+
+These are falsification tests: configurations where the model *must*
+show no effect (or a specific symmetry), catching accidental
+affinity-sensitivity baked into the workload code.
+"""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+
+SMALL = dict(n_connections=4, warmup_ms=8, measure_ms=10, seed=19)
+
+
+class TestSingleCpuNullEffect:
+    """On a one-CPU machine every placement is identical, so all
+    affinity modes must measure the same."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        out = {}
+        for mode in ("none", "proc", "irq", "full"):
+            out[mode] = run_experiment(ExperimentConfig(
+                direction="tx", message_size=16384, affinity=mode,
+                n_cpus=1, **SMALL
+            ))
+        return out
+
+    def test_throughput_identical(self, results):
+        values = [r.throughput_gbps for r in results.values()]
+        assert max(values) / min(values) < 1.02
+
+    def test_no_cross_cpu_artifacts(self, results):
+        for r in results.values():
+            assert r["c2c_transfers"] == 0
+            assert sum(r.ipis) == 0
+            assert r["migrations"] == 0
+
+
+class TestWorkConservation:
+    def test_bytes_equal_across_modes_per_message(self):
+        """Affinity must not change per-message work accounting:
+        messages * size == bytes for every mode."""
+        for mode in ("none", "full"):
+            r = run_experiment(ExperimentConfig(
+                direction="tx", message_size=16384, affinity=mode, **SMALL
+            ))
+            assert r.total_bytes == sum(r["messages"]) * 16384
+
+    def test_instructions_per_bit_mode_invariantish(self):
+        """The *instruction* count per bit moved should be nearly
+        placement-independent (affinity changes stalls, not work).
+        Scheduling overhead differs slightly; allow 15%."""
+        from repro.cpu.events import INSTRUCTIONS
+
+        rates = {}
+        for mode in ("none", "full"):
+            r = run_experiment(ExperimentConfig(
+                direction="tx", message_size=16384, affinity=mode, **SMALL
+            ))
+            rates[mode] = r.stack_total(INSTRUCTIONS) / float(r.work_bits)
+        ratio = rates["none"] / rates["full"]
+        assert 0.85 < ratio < 1.25
+
+
+class TestUtilizationBounds:
+    def test_busy_cycles_never_exceed_window(self):
+        r = run_experiment(ExperimentConfig(
+            direction="rx", message_size=16384, affinity="none", **SMALL
+        ))
+        for u in r.per_cpu_utilization:
+            assert 0.0 <= u <= 1.0
+
+    def test_cycles_accounted_match_busy(self):
+        """Accounted stack + idle-bin cycles equal busy cycles
+        (nothing charged outside the accounting sink)."""
+        r = run_experiment(ExperimentConfig(
+            direction="tx", message_size=16384, affinity="full", **SMALL
+        ))
+        from repro.cpu.events import CYCLES
+
+        accounted = r.stack_total(CYCLES) + r.bin_vector("other")[CYCLES]
+        assert accounted == pytest.approx(r["busy_cycles"], rel=0.001)

@@ -1,0 +1,87 @@
+"""Tests for the Figure 3/4 sweep helpers."""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, ResultCache, run_experiment
+from repro.core.metrics import (
+    bandwidth_series,
+    best_gain,
+    cost_reduction,
+    cost_series,
+    run_size_sweep,
+    throughput_gain,
+    utilization_series,
+)
+from repro.core.report import render_figure3, render_figure4
+
+
+@pytest.fixture(scope="module")
+def mini_sweep(tmp_path_factory):
+    """A tiny 2-size x 2-mode sweep on a reduced machine."""
+    cache = ResultCache(str(tmp_path_factory.mktemp("sweep")))
+    return run_size_sweep(
+        "tx",
+        sizes=(1024, 32768),
+        modes=("none", "full"),
+        cache=cache,
+        n_connections=4,
+        warmup_ms=6,
+        measure_ms=8,
+        seed=7,
+    )
+
+
+class TestSweep:
+    def test_grid_complete(self, mini_sweep):
+        assert set(mini_sweep) == {
+            (1024, "none"), (1024, "full"),
+            (32768, "none"), (32768, "full"),
+        }
+
+    def test_bandwidth_series_shape(self, mini_sweep):
+        series = bandwidth_series(mini_sweep, (1024, 32768),
+                                  modes=("none", "full"))
+        assert len(series["none"]) == 2
+        assert all(v > 0 for v in series["full"])
+
+    def test_utilization_series(self, mini_sweep):
+        series = utilization_series(mini_sweep, (1024, 32768),
+                                    modes=("none", "full"))
+        assert all(0.0 < u <= 1.0 for u in series["none"])
+
+    def test_cost_series_decreases_with_size(self, mini_sweep):
+        series = cost_series(mini_sweep, (1024, 32768),
+                             modes=("none", "full"))
+        for mode in ("none", "full"):
+            assert series[mode][0] > series[mode][1]
+
+    def test_gain_and_reduction_consistency(self, mini_sweep):
+        gain = throughput_gain(mini_sweep, 32768, "full")
+        reduction = cost_reduction(mini_sweep, 32768, "full")
+        assert gain > 0
+        assert reduction > 0
+        assert best_gain(mini_sweep, (1024, 32768), "full") >= gain or (
+            best_gain(mini_sweep, (1024, 32768), "full")
+            == throughput_gain(mini_sweep, 1024, "full")
+        )
+
+    def test_renderers(self, mini_sweep):
+        fig3 = render_figure3(mini_sweep, (1024, 32768), ("none", "full"),
+                              "tx")
+        fig4 = render_figure4(mini_sweep, (1024, 32768), ("none", "full"),
+                              "tx")
+        assert "Figure 3" in fig3 and "1024" in fig3
+        assert "Figure 4" in fig4 and "GHz/Gbps" in fig4
+
+
+class TestDeterminism:
+    def test_same_config_same_result(self):
+        cfg = ExperimentConfig(
+            direction="tx", message_size=8192, affinity="full",
+            n_connections=2, warmup_ms=4, measure_ms=6, seed=13,
+        )
+        a = run_experiment(cfg)
+        b = run_experiment(cfg)
+        assert a.throughput_gbps == b.throughput_gbps
+        assert a.bin_vector("engine") == b.bin_vector("engine")
+        assert a.to_dict() == b.to_dict()

@@ -1,0 +1,113 @@
+"""Tests for affinity-mode application and the CLI."""
+
+import pytest
+
+from repro.apps.ttcp import TtcpWorkload
+from repro.cli import build_parser
+from repro.core.modes import AFFINITY_MODES, apply_affinity, pin_plan
+from repro.kernel.machine import Machine
+from repro.net.params import NetParams
+from repro.net.stack import NetworkStack
+
+
+class TestPinPlan:
+    def test_paper_layout(self):
+        # 8 connections on 2 CPUs: 1-4 on CPU0, 5-8 on CPU1.
+        assert pin_plan(8, 2) == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_four_cpus(self):
+        assert pin_plan(8, 4) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_uneven(self):
+        assert pin_plan(5, 2) == [0, 0, 0, 1, 1]
+
+
+class TestApplyAffinity:
+    @pytest.fixture
+    def system(self):
+        machine = Machine(n_cpus=2, seed=1)
+        stack = NetworkStack(machine, NetParams(), n_connections=4,
+                             mode="tx", message_size=4096)
+        workload = TtcpWorkload(machine, stack, 4096)
+        tasks = workload.spawn_all()
+        return machine, stack, tasks
+
+    def test_none_leaves_defaults(self, system):
+        machine, stack, tasks = system
+        applied = apply_affinity(machine, stack, tasks, "none")
+        assert applied == {"irq": {}, "proc": {}, "controller": None}
+        for nic in stack.nics:
+            assert machine.ioapic.route(nic.vector) == 0
+        for task in tasks:
+            assert task.cpus_allowed == 0b11
+
+    def test_irq_distributes_interrupts(self, system):
+        machine, stack, tasks = system
+        applied = apply_affinity(machine, stack, tasks, "irq")
+        routes = [machine.ioapic.route(n.vector) for n in stack.nics]
+        assert routes == [0, 0, 1, 1]
+        assert len(applied["irq"]) == 4
+        for task in tasks:
+            assert task.cpus_allowed == 0b11  # processes untouched
+
+    def test_proc_pins_processes_only(self, system):
+        machine, stack, tasks = system
+        apply_affinity(machine, stack, tasks, "proc")
+        assert [t.cpus_allowed for t in tasks] == [1, 1, 2, 2]
+        for nic in stack.nics:
+            assert machine.ioapic.route(nic.vector) == 0
+
+    def test_full_aligns_process_with_its_nic(self, system):
+        machine, stack, tasks = system
+        apply_affinity(machine, stack, tasks, "full")
+        for i, task in enumerate(tasks):
+            nic_cpu = machine.ioapic.route(stack.nics[i].vector)
+            assert task.cpus_allowed == 1 << nic_cpu
+
+    def test_unknown_mode_rejected(self, system):
+        machine, stack, tasks = system
+        with pytest.raises(ValueError):
+            apply_affinity(machine, stack, tasks, "sideways")
+
+    def test_mode_list(self):
+        assert AFFINITY_MODES == ("none", "proc", "irq", "full")
+
+
+class TestCliParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.direction == "tx"
+        assert args.affinity == "none"
+        assert args.size == 65536
+
+    def test_compare_options(self):
+        args = build_parser().parse_args(
+            ["compare", "--direction", "rx", "--size", "128",
+             "--connections", "4", "--cpus", "4"]
+        )
+        assert (args.direction, args.size) == ("rx", 128)
+        assert (args.connections, args.cpus) == (4, 4)
+
+    def test_invalid_affinity_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--affinity", "bogus"])
+
+    def test_table_subcommands_exist(self):
+        for sub in ("table1", "table3"):
+            args = build_parser().parse_args([sub])
+            assert callable(args.func)
+
+
+class TestCliExecution:
+    def test_cmd_run_smoke(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        from repro import cli
+
+        rc = cli.main([
+            "run", "--affinity", "full", "--size", "16384",
+            "--connections", "2", "--warmup-ms", "4", "--measure-ms", "6",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tx-16384-full" in out
+        assert "Engine" in out

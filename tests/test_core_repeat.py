@@ -1,0 +1,51 @@
+"""Tests for multi-seed replication."""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.repeat import Summary, gain_statistics, replicate
+
+
+class TestSummary:
+    def test_single_value(self):
+        s = Summary([4.0])
+        assert s.mean == 4.0 and s.stdev == 0.0
+
+    def test_statistics(self):
+        s = Summary([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.stdev == pytest.approx(1.0)
+        assert (s.minimum, s.maximum) == (1.0, 3.0)
+        assert s.cv == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Summary([])
+
+
+SMALL = dict(n_connections=4, warmup_ms=6, measure_ms=8)
+
+
+class TestReplicate:
+    def test_throughput_stable_across_seeds(self):
+        config = ExperimentConfig(direction="tx", message_size=16384,
+                                  affinity="full", **SMALL)
+        summary = replicate(config, seeds=(3, 9))
+        assert summary.mean > 0.2
+        # Seed noise should be modest in a steady-state window.
+        assert summary.cv < 0.2
+
+    def test_metric_selection(self):
+        config = ExperimentConfig(direction="tx", message_size=16384,
+                                  affinity="full", **SMALL)
+        summary = replicate(config, seeds=(3,), metric="cost_ghz_per_gbps")
+        assert summary.mean > 0.3
+
+
+class TestGainStatistics:
+    def test_affinity_gain_positive_for_every_seed(self):
+        summary = gain_statistics(
+            "tx", 65536, "full", seeds=(3, 9), **SMALL
+        )
+        assert summary.minimum > 0.0
+        assert summary.mean > 0.03

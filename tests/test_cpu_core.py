@@ -1,0 +1,145 @@
+"""Unit tests for the CPU charge path."""
+
+import pytest
+
+from repro.cpu.events import (
+    BRANCHES,
+    CYCLES,
+    DTLB_WALKS,
+    INSTRUCTIONS,
+    ITLB_WALKS,
+    LLC_MISSES,
+    MACHINE_CLEARS,
+    TC_MISSES,
+)
+from repro.mem.layout import CACHE_LINE
+
+
+class TestChargeBasics:
+    def test_retire_width_floor(self, rig):
+        cycles = rig.cpus[0].charge(rig.fn, 30)
+        # 30 instructions at width 3 = 10 cycles plus fetch penalties;
+        # with no data touches the only extras are TC/ITLB cold costs.
+        assert cycles >= 10
+
+    def test_cycles_advance_clock_and_busy(self, rig):
+        cpu = rig.cpus[0]
+        cycles = cpu.charge(rig.fn, 300)
+        assert cpu.now == cycles
+        assert cpu.busy_cycles == cycles
+
+    def test_warm_charge_is_cheaper(self, rig):
+        cpu = rig.cpus[0]
+        obj = rig.space.alloc("data", CACHE_LINE * 8)
+        cold = cpu.charge(rig.fn, 30, reads=[(obj.addr, obj.size)])
+        warm = cpu.charge(rig.fn, 30, reads=[(obj.addr, obj.size)])
+        assert warm < cold
+
+    def test_llc_miss_costs_dominate_cold_reads(self, rig):
+        cpu = rig.cpus[0]
+        obj = rig.space.alloc("data", CACHE_LINE * 4)
+        cycles = cpu.charge(rig.fn, 3, reads=[(obj.addr, obj.size)])
+        assert cycles >= 4 * rig.costs.llc_miss
+
+    def test_counts_recorded_in_totals(self, rig):
+        cpu = rig.cpus[0]
+        obj = rig.space.alloc("data", CACHE_LINE * 2)
+        cpu.charge(rig.fn, 60, writes=[(obj.addr, obj.size)])
+        totals = cpu.totals
+        assert totals[INSTRUCTIONS] == 60
+        assert totals[LLC_MISSES] == 2
+        assert totals[CYCLES] > 0
+        assert totals[DTLB_WALKS] >= 1
+
+    def test_instruction_fetch_counts_tc_and_itlb(self, rig):
+        cpu = rig.cpus[0]
+        cpu.charge(rig.fn, 500)
+        assert cpu.totals[TC_MISSES] > 0
+        assert cpu.totals[ITLB_WALKS] == 1
+        tc_before = cpu.totals[TC_MISSES]
+        cpu.charge(rig.fn, 500)
+        assert cpu.totals[TC_MISSES] == tc_before  # code now resident
+
+    def test_branch_override_used_verbatim(self, rig):
+        cpu = rig.cpus[0]
+        cpu.charge(rig.fn, 100, branches=37, mispredicts=5)
+        assert cpu.totals[BRANCHES] == 37
+        assert cpu.totals[3] == 5
+
+    def test_stall_per_call(self, rig):
+        syscall = rig.functions.register(
+            "sys_test", "interface", stall_per_call=1000
+        )
+        base = rig.cpus[0].charge(rig.fn, 30)
+        stalled = rig.cpus[0].charge(syscall, 30)
+        assert stalled >= base + 1000 - rig.costs.tc_miss * 10
+
+    def test_stall_per_instr_raises_cpi(self, rig):
+        slow = rig.functions.register(
+            "slow_fn", "engine", stall_per_instr=2.0, branch_frac=0.0
+        )
+        cpu = rig.cpus[0]
+        cpu.charge(slow, 1)  # warm code
+        cycles = cpu.charge(slow, 900)
+        assert cycles >= 900 * 2
+
+
+class TestMachineClear:
+    def test_clear_charges_flush_and_counts(self, rig):
+        cpu = rig.cpus[0]
+        cycles = cpu.machine_clear(rig.fn, counted=40)
+        assert cycles == rig.costs.machine_clear
+        assert cpu.totals[MACHINE_CLEARS] == 40
+        assert cpu.busy_cycles == cycles
+
+    def test_clear_without_flush(self, rig):
+        cpu = rig.cpus[0]
+        assert cpu.machine_clear(rig.fn, counted=7, flush=False) == 0
+        assert cpu.totals[MACHINE_CLEARS] == 7
+        assert cpu.busy_cycles == 0
+
+
+class TestIdleAndUtilization:
+    def test_idle_advances_clock_not_busy(self, rig):
+        cpu = rig.cpus[0]
+        cpu.advance_idle(500)
+        assert cpu.now == 500
+        assert cpu.busy_cycles == 0
+        assert cpu.utilization() == 0.0
+
+    def test_utilization_mixed(self, rig):
+        cpu = rig.cpus[0]
+        busy = cpu.charge(rig.fn, 300)
+        cpu.advance_idle(busy)  # half idle
+        assert cpu.utilization() == pytest.approx(0.5)
+
+    def test_utilization_explicit_denominator(self, rig):
+        cpu = rig.cpus[0]
+        cpu.charge(rig.fn, 300)
+        assert cpu.utilization(total_cycles=cpu.busy_cycles * 4) == pytest.approx(0.25)
+
+
+class TestAccountingIntegration:
+    def test_sink_receives_per_function_rows(self, rig):
+        other = rig.functions.register("other_fn", "driver")
+        rig.cpus[0].charge(rig.fn, 100)
+        rig.cpus[1].charge(other, 50)
+        per_fn = rig.accounting.per_function()
+        assert per_fn["test_fn"][1][INSTRUCTIONS] == 100
+        assert per_fn["other_fn"][1][INSTRUCTIONS] == 50
+        per_cpu0 = rig.accounting.per_function(cpu_index=0)
+        assert "other_fn" not in per_cpu0
+
+    def test_per_bin_aggregation(self, rig):
+        other = rig.functions.register("drv_fn", "driver")
+        rig.cpus[0].charge(rig.fn, 100)
+        rig.cpus[0].charge(other, 50)
+        bins = rig.accounting.per_bin()
+        assert bins["engine"][INSTRUCTIONS] == 100
+        assert bins["driver"][INSTRUCTIONS] == 50
+
+    def test_disabled_accounting_drops_records(self, rig):
+        rig.accounting.enabled = False
+        rig.cpus[0].charge(rig.fn, 100)
+        rig.accounting.enabled = True
+        assert rig.accounting.per_function() == {}

@@ -1,0 +1,121 @@
+"""Tests for the SMT (HyperThreading) extension."""
+
+import pytest
+
+from repro.apps.ttcp import TtcpWorkload
+from repro.core.modes import apply_affinity
+from repro.cpu.events import LLC_MISSES
+from repro.kernel.machine import Machine
+from repro.mem.layout import CACHE_LINE
+from repro.net.params import NetParams
+from repro.net.stack import NetworkStack
+
+MS = 2_000_000
+
+
+class TestConstruction:
+    def test_logical_cpu_count_doubles(self):
+        machine = Machine(n_cpus=2, hyperthreading=True)
+        assert machine.n_cpus == 4
+        assert machine.physical_cpus == 2
+
+    def test_siblings_share_caches(self):
+        machine = Machine(n_cpus=2, hyperthreading=True)
+        c0, c1, c2, c3 = machine.cpus
+        assert c0.l1 is c1.l1 and c0.l3 is c1.l3
+        assert c2.l1 is c3.l1
+        assert c0.l1 is not c2.l1
+        assert c0.sibling is c1 and c1.sibling is c0
+
+    def test_domains(self):
+        machine = Machine(n_cpus=2, hyperthreading=True)
+        assert [c.domain for c in machine.cpus] == [0, 0, 1, 1]
+
+    def test_no_ht_unchanged(self):
+        machine = Machine(n_cpus=2)
+        assert machine.n_cpus == 2
+        assert all(c.sibling is None for c in machine.cpus)
+
+
+class TestSharedCacheCoherence:
+    def test_sibling_write_does_not_invalidate(self):
+        """A write by one HT sibling keeps the line warm for the other
+        (same physical caches, same coherence domain)."""
+        machine = Machine(n_cpus=2, hyperthreading=True)
+        fn = machine.functions.register("t", "engine", branch_frac=0.0)
+        obj = machine.space.alloc("shared", CACHE_LINE)
+        machine.cpus[0].charge(fn, 10, writes=[(obj.addr, CACHE_LINE)])
+        before = machine.cpus[1].totals[LLC_MISSES]
+        machine.cpus[1].charge(fn, 10, reads=[(obj.addr, CACHE_LINE)])
+        assert machine.cpus[1].totals[LLC_MISSES] == before  # warm hit
+
+    def test_cross_core_write_still_invalidates(self):
+        machine = Machine(n_cpus=2, hyperthreading=True)
+        fn = machine.functions.register("t", "engine", branch_frac=0.0)
+        obj = machine.space.alloc("shared", CACHE_LINE)
+        machine.cpus[0].charge(fn, 10, reads=[(obj.addr, CACHE_LINE)])
+        machine.cpus[2].charge(fn, 10, writes=[(obj.addr, CACHE_LINE)])
+        before = machine.cpus[0].totals[LLC_MISSES]
+        machine.cpus[0].charge(fn, 10, reads=[(obj.addr, CACHE_LINE)])
+        assert machine.cpus[0].totals[LLC_MISSES] == before + 1
+
+
+class TestSmtContention:
+    def test_busy_sibling_slows_execution(self):
+        machine = Machine(n_cpus=2, hyperthreading=True)
+        fn = machine.functions.register("t", "engine", branch_frac=0.0)
+        cpu = machine.cpus[0]
+        cpu.charge(fn, 3000)  # warm code
+        alone = cpu.charge(fn, 3000)
+        machine.cpus[1].recent_load = 1.0
+        contended = cpu.charge(fn, 3000)
+        assert contended > alone
+        ratio = contended / float(alone)
+        assert 1.3 < ratio < 2.0
+
+    def test_idle_sibling_costs_nothing(self):
+        machine = Machine(n_cpus=2, hyperthreading=True)
+        fn = machine.functions.register("t", "engine", branch_frac=0.0)
+        cpu = machine.cpus[0]
+        cpu.charge(fn, 3000)
+        a = cpu.charge(fn, 3000)
+        machine.cpus[1].recent_load = 0.0
+        b = cpu.charge(fn, 3000)
+        assert a == b
+
+
+class TestHtWorkload:
+    def test_ht_machine_runs_workload(self):
+        machine = Machine(n_cpus=2, seed=3, hyperthreading=True)
+        stack = NetworkStack(machine, NetParams(), n_connections=8,
+                             mode="tx", message_size=16384)
+        workload = TtcpWorkload(machine, stack, 16384)
+        tasks = workload.spawn_all()
+        apply_affinity(machine, stack, tasks, "full")
+        machine.start()
+        machine.run_for(10 * MS)
+        assert workload.total_bytes() > 0
+        # All four logical CPUs took interrupts in full-affinity mode.
+        for i in range(4):
+            assert machine.procstat.total_device_interrupts(i) > 0
+
+    def test_smt_gain_is_sublinear(self):
+        """Two logical CPUs per core help, but far less than a second
+        core would (P4-era HT gave ~15-30%)."""
+        results = {}
+        for ht in (False, True):
+            machine = Machine(n_cpus=2, seed=3, hyperthreading=ht)
+            stack = NetworkStack(machine, NetParams(), n_connections=8,
+                                 mode="tx", message_size=65536)
+            workload = TtcpWorkload(machine, stack, 65536)
+            tasks = workload.spawn_all()
+            apply_affinity(machine, stack, tasks, "full")
+            machine.start()
+            machine.run_for(10 * MS)
+            machine.reset_measurement()
+            machine.run_for(12 * MS)
+            results[ht] = workload.throughput_gbps(
+                machine.window_cycles, machine.hz
+            )
+        gain = results[True] / results[False] - 1.0
+        assert 0.05 < gain < 0.6

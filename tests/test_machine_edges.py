@@ -1,0 +1,146 @@
+"""Edge-case tests for the machine: dispatch, TLB flush, idle paths."""
+
+import pytest
+
+from repro.kernel.machine import Machine
+from repro.kernel.task import TASK_DEAD, Task, WaitQueue
+from repro.mem.layout import PAGE_SIZE, USER_BASE
+
+MS = 2_000_000
+
+
+@pytest.fixture
+def machine():
+    return Machine(n_cpus=2, seed=23)
+
+
+def spec(machine, name="worker", bin="engine"):
+    return machine.functions.register(name, bin, branch_frac=0.05)
+
+
+class TestContextSwitchTlb:
+    def test_switch_flushes_user_translations_only(self, machine):
+        fn = spec(machine)
+        user_buf = machine.space.alloc_page_aligned("ubuf", PAGE_SIZE * 2,
+                                                    zone="user")
+        kernel_buf = machine.space.alloc("kbuf", PAGE_SIZE)
+        phases = []
+
+        def body_a(ctx):
+            ctx.charge(fn, 50, reads=[(user_buf.addr, PAGE_SIZE * 2),
+                                      (kernel_buf.addr, 256)])
+            phases.append("a-ran")
+            yield ("resched",)
+            phases.append("a-again")
+
+        def body_b(ctx):
+            ctx.charge(fn, 50)
+            phases.append("b-ran")
+            yield ("resched",)
+
+        machine.spawn(Task("a", body_a, cpus_allowed=0b01), cpu_index=0)
+        machine.spawn(Task("b", body_b, cpus_allowed=0b01), cpu_index=0)
+        machine.start()
+        machine.run_for(2 * MS)
+        assert "b-ran" in phases
+        dtlb_pages = machine.cpus[0].dtlb.resident_pages()
+        user_pages = [p for p in dtlb_pages
+                      if p < 0xC000_0000 // PAGE_SIZE]
+        # After switching to b, a's user pages are flushed...
+        assert user_buf.addr // PAGE_SIZE not in dtlb_pages
+        # ...while kernel (global) translations survive.
+        assert kernel_buf.addr // PAGE_SIZE in dtlb_pages
+
+    def test_redispatch_same_task_skips_flush(self, machine):
+        fn = spec(machine)
+        user_buf = machine.space.alloc_page_aligned("ubuf", PAGE_SIZE,
+                                                    zone="user")
+        misses = []
+
+        def body(ctx):
+            for _ in range(3):
+                walks_before = ctx.cpu.dtlb.walks
+                ctx.charge(fn, 50, reads=[(user_buf.addr, 64)])
+                misses.append(ctx.cpu.dtlb.walks - walks_before)
+                yield ("resched",)  # only task: re-dispatched, no switch
+
+        machine.spawn(Task("solo", body, cpus_allowed=0b01), cpu_index=0)
+        machine.start()
+        machine.run_for(2 * MS)
+        assert misses[0] == 1      # first touch walks
+        assert misses[1:] == [0, 0]  # no flush on same-task redispatch
+
+
+class TestIdlePaths:
+    def test_machine_idles_with_no_work(self, machine):
+        machine.start()
+        machine.run_for(5 * MS)
+        for i in range(2):
+            assert machine.utilization(i) < 0.02  # only tick work
+            assert machine.states[i].halted
+
+    def test_task_exit_leaves_cpu_idle(self, machine):
+        fn = spec(machine)
+
+        def body(ctx):
+            ctx.charge(fn, 100)
+            yield ("preempt_check",)
+
+        task = machine.spawn(Task("oneshot", body), cpu_index=0)
+        machine.start()
+        machine.run_for(3 * MS)
+        assert task.state == TASK_DEAD
+        assert machine.states[0].halted
+
+    def test_wake_unhalts_idle_cpu(self, machine):
+        fn = spec(machine)
+        wq = WaitQueue("w")
+        log = []
+
+        def sleeper(ctx):
+            yield ("block", wq)
+            ctx.charge(fn, 100)
+            log.append("woke at %d" % ctx.now)
+
+        def late_waker(ctx):
+            ctx.charge(fn, 100)
+            yield ("preempt_check",)
+            ctx.wake_up(wq)
+
+        machine.spawn(Task("sleeper", sleeper, cpus_allowed=0b01),
+                      cpu_index=0)
+        machine.start()
+        machine.run_for(2 * MS)  # CPU0 idles with the sleeper blocked
+        assert machine.states[0].halted
+        machine.spawn(Task("waker", late_waker, cpus_allowed=0b10),
+                      cpu_index=1)
+        machine.run_for(2 * MS)
+        assert log, "sleeper never woke"
+
+
+class TestMeasurementWindow:
+    def test_window_cycles_tracks_reset(self, machine):
+        machine.start()
+        machine.run_for(3 * MS)
+        machine.reset_measurement()
+        machine.run_for(2 * MS)
+        assert machine.window_cycles == pytest.approx(2 * MS, rel=0.01)
+
+    def test_lock_stats_reset(self, machine):
+        lock = machine.new_lock("resettable")
+        lock.acquisitions = 5
+        lock.total_spin_cycles = 100
+        machine.reset_measurement()
+        assert lock.acquisitions == 0
+        assert lock.total_spin_cycles == 0
+
+
+class TestSpawnValidation:
+    def test_default_affinity_mask_allows_all(self, machine):
+        task = machine.spawn(Task("t", lambda ctx: iter(())))
+        assert task.cpus_allowed == 0b11
+
+    def test_sched_setaffinity_moves_queued_task(self, machine):
+        task = machine.spawn(Task("t", lambda ctx: iter(())), cpu_index=0)
+        machine.sched_setaffinity(task, 0b10)
+        assert task in machine.scheduler.runqueues[1]

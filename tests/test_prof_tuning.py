@@ -1,0 +1,39 @@
+"""Tests for the VTune-style tuning assistant."""
+
+import pytest
+
+from repro.cpu.params import CostModel
+from repro.prof.tuning import Advice, analyze, render_advice
+
+
+class TestAssistantOnRealRun:
+    def test_flags_the_papers_culprits(self, tx_pair):
+        none, _ = tx_pair
+        advice = analyze(none, CostModel())
+        metrics = {a.metric for a in advice}
+        # The paper's two headline events must be flagged.
+        assert "machine_clears" in metrics
+        assert "llc_misses" in metrics
+
+    def test_flags_pathological_bins(self, tx_pair):
+        none, _ = tx_pair
+        advice = analyze(none, CostModel())
+        bins = {a.subject for a in advice if a.metric == "cpi"}
+        # Locks (or interface) should appear as a poor-CPI bin.
+        assert bins & {"locks", "interface", "overall"}
+
+    def test_sorted_by_impact(self, tx_pair):
+        none, _ = tx_pair
+        advice = [a for a in analyze(none, CostModel())
+                  if a.subject == "overall" and a.metric != "cpi"]
+        values = [a.value for a in advice]
+        assert values == sorted(values, reverse=True)
+
+    def test_render(self, tx_pair):
+        none, _ = tx_pair
+        text = render_advice(analyze(none, CostModel()))
+        assert "Tuning assistant" in text
+        assert "Machine clears" in text or "cache misses" in text
+
+    def test_render_empty(self):
+        assert "no significant findings" in render_advice([])

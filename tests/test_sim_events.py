@@ -1,0 +1,132 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.events import EventQueue, SimulationEngine
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(30, lambda: fired.append(30))
+        q.schedule(10, lambda: fired.append(10))
+        q.schedule(20, lambda: fired.append(20))
+        while True:
+            ev = q.pop()
+            if ev is None:
+                break
+            ev.callback()
+        assert fired == [10, 20, 30]
+
+    def test_ties_break_by_insertion_order(self):
+        q = EventQueue()
+        fired = []
+        for tag in ("a", "b", "c"):
+            q.schedule(5, lambda t=tag: fired.append(t))
+        while q.pop() is not None:
+            pass
+        # Pop order is deterministic; verify by re-running with callbacks.
+        q2 = EventQueue()
+        for tag in ("a", "b", "c"):
+            q2.schedule(5, lambda t=tag: fired.append(t))
+        while True:
+            ev = q2.pop()
+            if ev is None:
+                break
+            ev.callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        ev = q.schedule(10, lambda: None)
+        q.schedule(20, lambda: None)
+        ev.cancel()
+        assert q.pop().time == 20
+        assert q.pop() is None
+
+    def test_len_ignores_cancelled(self):
+        q = EventQueue()
+        ev = q.schedule(10, lambda: None)
+        q.schedule(20, lambda: None)
+        assert len(q) == 2
+        ev.cancel()
+        assert len(q) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.schedule(10, lambda: None)
+        q.schedule(25, lambda: None)
+        ev.cancel()
+        assert q.peek_time() == 25
+
+    def test_negative_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.schedule(-1, lambda: None)
+
+
+class TestSimulationEngine:
+    def test_clock_follows_events(self):
+        eng = SimulationEngine()
+        times = []
+        eng.schedule_at(100, lambda: times.append(eng.now))
+        eng.schedule_at(50, lambda: times.append(eng.now))
+        eng.run()
+        assert times == [50, 100]
+        assert eng.now == 100
+
+    def test_schedule_after_is_relative(self):
+        eng = SimulationEngine()
+        seen = []
+
+        def first():
+            eng.schedule_after(7, lambda: seen.append(eng.now))
+
+        eng.schedule_at(10, first)
+        eng.run()
+        assert seen == [17]
+
+    def test_run_until_leaves_future_events(self):
+        eng = SimulationEngine()
+        seen = []
+        eng.schedule_at(5, lambda: seen.append(5))
+        eng.schedule_at(500, lambda: seen.append(500))
+        fired = eng.run(until=100)
+        assert fired == 1
+        assert seen == [5]
+        assert eng.now == 100
+        eng.run()
+        assert seen == [5, 500]
+
+    def test_cannot_schedule_in_past(self):
+        eng = SimulationEngine()
+        eng.schedule_at(10, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError):
+            eng.schedule_at(5, lambda: None)
+
+    def test_stop_exits_loop(self):
+        eng = SimulationEngine()
+        seen = []
+        eng.schedule_at(1, lambda: (seen.append(1), eng.stop()))
+        eng.schedule_at(2, lambda: seen.append(2))
+        eng.run()
+        assert seen == [1]
+
+    def test_max_events_guard(self):
+        eng = SimulationEngine()
+
+        def reschedule():
+            eng.schedule_after(1, reschedule)
+
+        eng.schedule_at(0, reschedule)
+        fired = eng.run(max_events=25)
+        assert fired == 25
+
+    def test_events_fired_accumulates(self):
+        eng = SimulationEngine()
+        eng.schedule_at(1, lambda: None)
+        eng.schedule_at(2, lambda: None)
+        eng.run()
+        assert eng.events_fired == 2

@@ -1,0 +1,119 @@
+"""Property-based tests for the simulation engine and scheduler."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel.scheduler import Scheduler, SchedulerParams
+from repro.kernel.task import Task, full_mask
+from repro.sim.events import SimulationEngine
+
+
+class TestEngineProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    max_size=80))
+    def test_events_fire_in_time_order(self, times):
+        engine = SimulationEngine()
+        fired = []
+        for t in times:
+            engine.schedule_at(t, lambda t=t: fired.append(t))
+        engine.run()
+        assert fired == sorted(times)
+        assert len(fired) == len(times)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    min_size=1, max_size=60),
+           st.integers(min_value=0, max_value=10_000))
+    def test_run_until_splits_cleanly(self, times, cutoff):
+        engine = SimulationEngine()
+        fired = []
+        for t in times:
+            engine.schedule_at(t, lambda t=t: fired.append(t))
+        engine.run(until=cutoff)
+        assert fired == sorted(t for t in times if t <= cutoff)
+        engine.run()
+        assert sorted(fired) == sorted(times)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=5000),
+                              st.booleans()),
+                    max_size=60))
+    def test_cancelled_events_never_fire(self, entries):
+        engine = SimulationEngine()
+        fired = []
+        events = []
+        for t, cancel in entries:
+            ev = engine.schedule_at(t, lambda t=t: fired.append(t))
+            events.append((ev, t, cancel))
+        for ev, _, cancel in events:
+            if cancel:
+                ev.cancel()
+        engine.run()
+        expected = sorted(t for _, t, cancel in events if not cancel)
+        assert fired == expected
+
+
+def make_task(i, n_cpus=2, mask=None):
+    task = Task("t%d" % i, lambda ctx: iter(()),
+                cpus_allowed=mask or full_mask(n_cpus))
+    return task
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.sampled_from(
+        ["enq0", "enq1", "pick0", "pick1", "bal0", "bal1", "wake0", "wake1"]
+    ), max_size=60))
+    def test_no_task_lost_or_duplicated(self, ops):
+        """Across any sequence of scheduler operations, every task is
+        in exactly one place: a runqueue, running, or 'out' (picked)."""
+        sched = Scheduler(2, SchedulerParams())
+        tasks = []
+        out = []
+        counter = [0]
+
+        def new_task():
+            task = make_task(counter[0])
+            counter[0] += 1
+            tasks.append(task)
+            return task
+
+        for op in ops:
+            cpu = int(op[-1])
+            if op.startswith("enq"):
+                sched.enqueue(new_task(), cpu)
+            elif op.startswith("pick"):
+                task = sched.pick_next(cpu)
+                if task is not None:
+                    out.append(task)
+            elif op.startswith("bal"):
+                sched.balance(cpu)
+            elif op.startswith("wake"):
+                task = new_task()
+                task.prev_cpu = 1 - cpu
+                sched.wake(task, waker_cpu=cpu, now=0)
+            # Invariant: every created task is either queued once or out.
+            queued = sched.runqueues[0] + sched.runqueues[1]
+            assert len(queued) + len(out) == len(tasks)
+            assert len(set(queued)) == len(queued)  # no duplicates
+            for q, queue in enumerate(sched.runqueues):
+                for task in queue:
+                    assert task.allowed_on(q)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.lists(st.integers(min_value=0, max_value=3), min_size=1,
+                 max_size=20),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_wake_always_lands_in_mask(self, n_cpus, masks, waker):
+        sched = Scheduler(n_cpus, SchedulerParams())
+        waker = waker % n_cpus
+        for i, seed in enumerate(masks):
+            mask = (seed % ((1 << n_cpus) - 1)) + 1
+            task = make_task(i, n_cpus, mask=mask)
+            task.prev_cpu = seed % n_cpus
+            decision = sched.wake(task, waker_cpu=waker, now=0)
+            assert task.allowed_on(decision.target_cpu)
+            assert task in sched.runqueues[decision.target_cpu]

@@ -1,0 +1,79 @@
+"""Tests for workload selection in the experiment runner."""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+
+SMALL = dict(n_connections=4, warmup_ms=6, measure_ms=8, seed=5)
+
+
+class TestConfigPlumbing:
+    def test_default_workload_is_ttcp(self):
+        cfg = ExperimentConfig()
+        assert cfg.workload == "ttcp"
+        assert "ttcp" not in cfg.label()
+
+    def test_workload_in_label_and_key(self):
+        base = ExperimentConfig(message_size=8192, **SMALL)
+        iscsi = ExperimentConfig(message_size=8192, workload="iscsi",
+                                 **SMALL)
+        assert iscsi.label().startswith("iscsi-")
+        assert base.key() != iscsi.key()
+
+    def test_roundtrip(self):
+        cfg = ExperimentConfig(workload="web", **SMALL)
+        clone = ExperimentConfig(**cfg.to_dict())
+        assert clone.key() == cfg.key()
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(workload="seti-at-home")
+
+
+class TestWorkloadRuns:
+    @pytest.mark.parametrize("workload,size", [
+        ("iscsi", 8192),
+        ("web", 16384),
+    ])
+    def test_runs_and_measures(self, workload, size):
+        result = run_experiment(ExperimentConfig(
+            workload=workload, message_size=size, affinity="full", **SMALL
+        ))
+        assert result.total_bytes > 0
+        assert result.throughput_gbps > 0.1
+        assert result["rx_drops"] == 0
+
+    def test_affinity_helps_other_workloads_too(self):
+        gains = {}
+        for workload in ("iscsi",):
+            results = {}
+            for mode in ("none", "full"):
+                results[mode] = run_experiment(ExperimentConfig(
+                    workload=workload, message_size=8192, affinity=mode,
+                    n_connections=8, warmup_ms=8, measure_ms=10, seed=5,
+                ))
+            gains[workload] = (
+                results["full"].throughput_gbps
+                / results["none"].throughput_gbps - 1.0
+            )
+        assert gains["iscsi"] > 0.08
+
+
+class TestCostOverrides:
+    def test_override_changes_key_and_behaviour(self):
+        plain = ExperimentConfig(message_size=8192, **SMALL)
+        tweaked = ExperimentConfig(message_size=8192,
+                                   cost_overrides={"c2c_transfer": 900},
+                                   **SMALL)
+        assert plain.key() != tweaked.key()
+        a = run_experiment(plain)
+        b = run_experiment(tweaked)
+        # With 4 connections under no affinity, some cross-CPU traffic
+        # exists; raising its price cannot *increase* throughput.
+        assert b.throughput_gbps <= a.throughput_gbps * 1.02
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(TypeError):
+            run_experiment(ExperimentConfig(
+                cost_overrides={"warp_factor": 9}, **SMALL
+            ))

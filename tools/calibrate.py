@@ -1,0 +1,128 @@
+"""Calibration harness: compare simulated Table-1 metrics to the paper.
+
+Run after any change to the work budgets in repro.net.params:
+
+    python tools/calibrate.py [--quick]
+
+Prints per-bin %cycles / CPI / MPI for the four corners the paper
+characterizes (TX/RX x 128B/64KB, no vs full affinity), plus the
+headline cost/throughput numbers, next to the paper's values.
+"""
+
+import sys
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.cpu.events import (
+    BRANCHES,
+    BR_MISPREDICTS,
+    CYCLES,
+    INSTRUCTIONS,
+    LLC_MISSES,
+    MACHINE_CLEARS,
+)
+from repro.cpu.function import BINS
+
+# Paper Table 1: {(dir, size, aff): {bin: (%cycles, CPI, MPI)}}
+PAPER = {
+    ("tx", 65536, "none"): dict(
+        interface=(6.0, 17.62, 0.0212), engine=(25.5, 5.01, 0.0070),
+        buf_mgmt=(28.0, 5.93, 0.0065), copies=(27.1, 3.93, 0.0106),
+        driver=(10.4, 6.06, 0.0049), locks=(0.6, 14.65, 0.0025),
+        timers=(2.0, 4.07, 0.0029), overall=(100.0, 5.04, 0.0078)),
+    ("tx", 65536, "full"): dict(
+        interface=(5.0, 11.27, 0.0063), engine=(21.8, 3.41, 0.0016),
+        buf_mgmt=(20.3, 4.06, 0.0007), copies=(37.1, 4.12, 0.0095),
+        driver=(12.2, 5.35, 0.0030), locks=(0.0, 16.49, 0.0040),
+        timers=(3.0, 7.10, 0.0116), overall=(100.0, 4.14, 0.0047)),
+    ("tx", 128, "none"): dict(
+        interface=(42.4, 8.68, 0.0034), engine=(29.0, 3.38, 0.0020),
+        buf_mgmt=(11.6, 4.44, 0.0046), copies=(5.9, 1.62, 0.0082),
+        driver=(4.4, 5.73, 0.0065), locks=(3.8, 14.96, 0.0030),
+        timers=(1.5, 2.58, 0.0016), overall=(100.0, 4.56, 0.0038)),
+    ("tx", 128, "full"): dict(
+        interface=(46.0, 8.73, 0.0037), engine=(28.8, 3.05, 0.0009),
+        buf_mgmt=(8.2, 2.99, 0.0001), copies=(6.9, 1.60, 0.0079),
+        driver=(6.0, 4.38, 0.0025), locks=(1.0, 20.06, 0.0099),
+        timers=(2.2, 3.15, 0.0042), overall=(100.0, 4.11, 0.0028)),
+    ("rx", 65536, "none"): dict(
+        interface=(3.0, 15.44, 0.0195), engine=(22.8, 4.70, 0.0046),
+        buf_mgmt=(11.2, 6.57, 0.0106), copies=(40.3, 66.34, 0.1329),
+        driver=(11.0, 6.89, 0.0108), locks=(0.3, 15.16, 0.0054),
+        timers=(11.3, 5.85, 0.0097), overall=(100.0, 8.49, 0.0133)),
+    ("rx", 65536, "full"): dict(
+        interface=(7.5, 8.90, 0.0023), engine=(22.7, 3.72, 0.0016),
+        buf_mgmt=(20.4, 4.04, 0.0039), copies=(32.1, 58.03, 0.1100),
+        driver=(7.2, 5.69, 0.0051), locks=(1.3, 22.78, 0.0222),
+        timers=(8.2, 7.35, 0.0146), overall=(100.0, 7.53, 0.0101)),
+    ("rx", 128, "none"): dict(
+        interface=(41.5, 8.49, 0.0032), engine=(23.7, 3.38, 0.0021),
+        buf_mgmt=(10.0, 2.31, 0.0023), copies=(13.8, 4.99, 0.0074),
+        driver=(5.0, 5.64, 0.0063), locks=(2.7, 17.95, 0.0080),
+        timers=(2.2, 3.04, 0.0018), overall=(100.0, 4.66, 0.0032)),
+    ("rx", 128, "full"): dict(
+        interface=(46.0, 8.66, 0.0036), engine=(21.0, 2.72, 0.0005),
+        buf_mgmt=(7.0, 1.55, 0.0002), copies=(15.0, 5.14, 0.0077),
+        driver=(5.0, 4.44, 0.0024), locks=(1.0, 23.22, 0.0103),
+        timers=(3.0, 3.17, 0.0042), overall=(100.0, 4.23, 0.0023)),
+}
+
+#: Paper Figure 4 cost corners (GHz/Gbps).
+PAPER_COST = {
+    ("tx", 65536, "none"): 1.9, ("tx", 65536, "full"): 1.4,
+    ("tx", 128, "none"): 4.6, ("tx", 128, "full"): 4.1,
+    ("rx", 65536, "none"): 2.3, ("rx", 65536, "full"): 1.8,
+    ("rx", 128, "none"): 4.7, ("rx", 128, "full"): 4.3,
+}
+
+
+def report(config, result):
+    key = (config.direction, config.message_size, config.affinity)
+    paper = PAPER.get(key, {})
+    print("=" * 78)
+    print("%s   cost=%.2f (paper ~%.1f)  tput=%.0f Mb/s  util=%s  ipis=%s"
+          % (config.label(), result.cost_ghz_per_gbps,
+             PAPER_COST.get(key, float("nan")), result.throughput_mbps,
+             "/".join("%.0f%%" % (u * 100) for u in result.per_cpu_utilization),
+             result.ipis))
+    total_cycles = result.stack_total(CYCLES)
+    print("%-10s %16s %14s %18s" % ("bin", "%cycles(sim/pap)",
+                                    "CPI(sim/pap)", "MPIx1000(sim/pap)"))
+    rows = [b for b in BINS if b != "other"] + ["overall"]
+    for b in rows:
+        if b == "overall":
+            vec = [result.stack_total(i) for i in range(11)]
+        else:
+            vec = result.bin_vector(b)
+        cyc, instr, llc = vec[CYCLES], vec[INSTRUCTIONS], vec[LLC_MISSES]
+        pct = 100.0 * cyc / total_cycles if total_cycles else 0.0
+        cpi = cyc / instr if instr else 0.0
+        mpi = 1000.0 * llc / instr if instr else 0.0
+        p = paper.get(b, (float("nan"),) * 3)
+        print("%-10s %7.1f /%6.1f %7.2f /%5.1f %9.2f /%8.1f"
+              % (b, pct, p[0], cpi, p[1], mpi, p[2] * 1000))
+    clears = result.stack_total(MACHINE_CLEARS)
+    br = result.stack_total(BRANCHES)
+    mis = result.stack_total(BR_MISPREDICTS)
+    print("clears/bit=%.4f  %%br=%.1f  %%misp=%.2f  migr=%d  c2c=%d"
+          % (clears / float(result.work_bits or 1),
+             100.0 * br / (result.stack_total(INSTRUCTIONS) or 1),
+             100.0 * mis / (br or 1), result["migrations"],
+             result["c2c_transfers"]))
+
+
+def main():
+    quick = "--quick" in sys.argv
+    corners = [("tx", 65536), ("tx", 128), ("rx", 65536), ("rx", 128)]
+    if quick:
+        corners = corners[:2]
+    for direction, size in corners:
+        for affinity in ("none", "full"):
+            config = ExperimentConfig(
+                direction=direction, message_size=size, affinity=affinity
+            )
+            result = run_experiment(config)
+            report(config, result)
+
+
+if __name__ == "__main__":
+    main()

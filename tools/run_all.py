@@ -1,0 +1,42 @@
+"""One-command full regeneration of every artefact.
+
+    python tools/run_all.py [--fresh]
+
+Runs, in order: the unit/integration test suite, the benchmark suite
+(regenerating the paper's tables and figures into ``results/``), and
+the EXPERIMENTS.md report.  ``--fresh`` clears the result caches first
+so everything is recomputed from scratch (expect tens of minutes).
+"""
+
+import shutil
+import subprocess
+import sys
+
+
+def run(cmd):
+    print("+ %s" % " ".join(cmd), flush=True)
+    return subprocess.call(cmd)
+
+
+def main(argv):
+    if "--fresh" in argv:
+        for path in (".repro-results", "results"):
+            shutil.rmtree(path, ignore_errors=True)
+        print("cleared caches and artefacts")
+
+    failures = 0
+    failures += run([sys.executable, "-m", "pytest", "tests/", "-q"])
+    failures += run([
+        sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only",
+        "-q",
+    ])
+    failures += run([sys.executable, "tools/make_experiments_report.py"])
+    if failures:
+        print("\nFAILURES above", file=sys.stderr)
+        return 1
+    print("\nall artefacts regenerated; see results/ and EXPERIMENTS.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
