@@ -20,10 +20,14 @@ from repro.core.experiment import (
 )
 from repro.core.metrics import run_size_sweep
 from repro.core.modes import AFFINITY_MODES
+from repro.core.parallel import default_jobs
 
 #: Shorter windows for the 56-run Figure 3/4 sweeps; the characterization
 #: corners (8 runs) use the full default windows.
 SWEEP_KW = dict(warmup_ms=14, measure_ms=18)
+
+#: Worker processes for uncached sweeps (``REPRO_JOBS`` or CPU count).
+JOBS = default_jobs()
 
 _CACHE = ResultCache()
 
@@ -60,24 +64,42 @@ def corner(direction, size, affinity):
     return run_experiment(config, cache=_CACHE, progress=_progress)
 
 
+def _pair(direction, size):
+    """A (none, full) characterization pair, run in parallel when
+    the cache is cold and more than one worker is available."""
+    from repro.core.parallel import SweepRunner
+
+    configs = [
+        ExperimentConfig(
+            direction=direction, message_size=size, affinity=affinity
+        )
+        for affinity in ("none", "full")
+    ]
+    runner = SweepRunner(
+        jobs=min(JOBS, 2), cache=_CACHE, progress=_progress
+    )
+    none, full = runner.run(configs)
+    return none, full
+
+
 @pytest.fixture(scope="session")
 def tx64_pair():
-    return corner("tx", 65536, "none"), corner("tx", 65536, "full")
+    return _pair("tx", 65536)
 
 
 @pytest.fixture(scope="session")
 def tx128_pair():
-    return corner("tx", 128, "none"), corner("tx", 128, "full")
+    return _pair("tx", 128)
 
 
 @pytest.fixture(scope="session")
 def rx64_pair():
-    return corner("rx", 65536, "none"), corner("rx", 65536, "full")
+    return _pair("rx", 65536)
 
 
 @pytest.fixture(scope="session")
 def rx128_pair():
-    return corner("rx", 128, "none"), corner("rx", 128, "full")
+    return _pair("rx", 128)
 
 
 @pytest.fixture(scope="session")
@@ -85,7 +107,7 @@ def tx_sweep():
     """Figure 3/4 grid, transmit direction (28 runs, cached)."""
     return run_size_sweep(
         "tx", sizes=PAPER_SIZES, modes=AFFINITY_MODES, cache=_CACHE,
-        progress=_progress, **SWEEP_KW
+        progress=_progress, jobs=JOBS, **SWEEP_KW
     )
 
 
@@ -94,5 +116,5 @@ def rx_sweep():
     """Figure 3/4 grid, receive direction (28 runs, cached)."""
     return run_size_sweep(
         "rx", sizes=PAPER_SIZES, modes=AFFINITY_MODES, cache=_CACHE,
-        progress=_progress, **SWEEP_KW
+        progress=_progress, jobs=JOBS, **SWEEP_KW
     )

@@ -27,6 +27,7 @@ from repro.core.experiment import (
 from repro.core.characterization import BIN_LABELS, STACK_BINS, characterize
 from repro.core.metrics import run_size_sweep
 from repro.core.modes import AFFINITY_MODES, EXTENDED_MODES
+from repro.core.parallel import default_jobs
 from repro.core.report import (
     render_figure3,
     render_figure4,
@@ -113,6 +114,7 @@ def cmd_sweep(args):
         sizes=sizes,
         cache=cache,
         progress=lambda msg: print("[repro] %s" % msg, file=sys.stderr),
+        jobs=args.jobs if args.jobs > 0 else default_jobs(),
         n_connections=args.connections,
         n_cpus=args.cpus,
         warmup_ms=args.warmup_ms,
@@ -166,6 +168,10 @@ def build_parser():
     _add_common(p_sweep)
     p_sweep.add_argument("--sizes", type=int, nargs="+",
                          default=[128, 1024, 8192, 65536])
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep (1 = serial; 0 = one per "
+             "CPU / $REPRO_JOBS)")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1 for a corner")

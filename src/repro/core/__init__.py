@@ -36,6 +36,7 @@ from repro.core.indicators import impact_indicators
 from repro.core.lockstudy import LockComparison
 from repro.core.metrics import run_size_sweep
 from repro.core.modes import AFFINITY_MODES, apply_affinity
+from repro.core.parallel import SweepRunner, default_jobs
 from repro.core.speedup import improvement_table
 
 __all__ = [
@@ -44,6 +45,8 @@ __all__ = [
     "ResultCache",
     "run_experiment",
     "run_size_sweep",
+    "SweepRunner",
+    "default_jobs",
     "PAPER_SIZES",
     "AFFINITY_MODES",
     "apply_affinity",

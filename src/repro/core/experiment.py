@@ -14,6 +14,7 @@ cycle-level simulation, and every benchmark and example reuses them.
 import hashlib
 import json
 import os
+import tempfile
 
 from repro.apps.iscsi import IscsiTargetWorkload
 from repro.apps.ttcp import TtcpWorkload
@@ -338,13 +339,27 @@ def run_experiment(config, cache=None, progress=None):
 
 
 class ResultCache:
-    """Two-level (memory + disk) cache of experiment results."""
+    """Two-level (memory + disk) cache of experiment results.
+
+    Safe to share between concurrent processes: disk writes are atomic
+    (tempfile in the cache directory, then ``os.replace``), so readers
+    never observe a torn entry, and an unreadable or corrupt entry is
+    treated as a miss (the bad file is discarded and the experiment
+    re-runs) rather than an error.
+    """
 
     def __init__(self, directory=None):
-        if directory is None:
-            directory = os.environ.get("REPRO_RESULTS_DIR", ".repro-results")
-        self.directory = directory
+        self._directory = directory
         self._memory = {}
+
+    @property
+    def directory(self):
+        """The cache directory, resolved lazily so ``REPRO_RESULTS_DIR``
+        set after construction (e.g. by a test or the CLI) still takes
+        effect for a cache built without an explicit directory."""
+        if self._directory is not None:
+            return self._directory
+        return os.environ.get("REPRO_RESULTS_DIR", ".repro-results")
 
     def _path(self, config):
         return os.path.join(
@@ -356,25 +371,51 @@ class ResultCache:
         if key in self._memory:
             return self._memory[key]
         path = self._path(config)
-        if os.path.exists(path):
+        try:
             with open(path) as fh:
-                result = ExperimentResult.from_dict(json.load(fh))
-            self._memory[key] = result
-            return result
-        return None
+                data = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (ValueError, OSError):
+            # Torn, truncated or otherwise unreadable entry: a miss.
+            # Discard it so the re-run's put starts clean.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        result = ExperimentResult.from_dict(data)
+        self._memory[key] = result
+        return result
 
     def put(self, config, result):
         self._memory[config.key()] = result
-        os.makedirs(self.directory, exist_ok=True)
-        with open(self._path(config), "w") as fh:
-            json.dump(result.to_dict(), fh)
+        directory = self.directory
+        os.makedirs(directory, exist_ok=True)
+        # Write to a sibling tempfile and rename into place: os.replace
+        # is atomic on POSIX, so a concurrent reader (or a reader after
+        # an interrupt) sees either the old entry or the new one whole.
+        fd, tmp = tempfile.mkstemp(
+            prefix=".put-", suffix=".part", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(result.to_dict(), fh)
+            os.replace(tmp, self._path(config))
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
 
     def clear(self):
         self._memory.clear()
-        if os.path.isdir(self.directory):
-            for name in os.listdir(self.directory):
-                if name.endswith(".json"):
-                    os.remove(os.path.join(self.directory, name))
+        directory = self.directory
+        if os.path.isdir(directory):
+            for name in os.listdir(directory):
+                if name.endswith(".json") or name.endswith(".part"):
+                    os.remove(os.path.join(directory, name))
 
 
 #: Module-level default cache shared by benchmarks and examples.

@@ -20,25 +20,39 @@ def run_size_sweep(
     modes=AFFINITY_MODES,
     cache=None,
     progress=None,
+    jobs=None,
     **config_kwargs
 ):
     """Run the full (size x mode) grid for one direction.
 
+    ``jobs`` > 1 shards the grid across worker processes via
+    :class:`repro.core.parallel.SweepRunner`; the default (``None``,
+    like ``1``) runs serially in-process.  Both paths produce
+    identical results.
+
     Returns ``{(size, mode): ExperimentResult}``.
     """
-    results = {}
-    for size in sizes:
-        for mode in modes:
-            config = ExperimentConfig(
-                direction=direction,
-                message_size=size,
-                affinity=mode,
-                **config_kwargs
-            )
-            results[(size, mode)] = run_experiment(
-                config, cache=cache, progress=progress
-            )
-    return results
+    cells = [(size, mode) for size in sizes for mode in modes]
+    configs = [
+        ExperimentConfig(
+            direction=direction,
+            message_size=size,
+            affinity=mode,
+            **config_kwargs
+        )
+        for size, mode in cells
+    ]
+    if jobs is not None and jobs != 1:
+        from repro.core.parallel import SweepRunner
+
+        runner = SweepRunner(jobs=jobs, cache=cache, progress=progress)
+        flat = runner.run(configs)
+    else:
+        flat = [
+            run_experiment(config, cache=cache, progress=progress)
+            for config in configs
+        ]
+    return dict(zip(cells, flat))
 
 
 def bandwidth_series(sweep, sizes, modes=AFFINITY_MODES):

@@ -1,0 +1,163 @@
+"""Parallel experiment sweeps.
+
+Every paper artefact is regenerated from sweeps of independent
+experiment cells (direction x size x mode x seed).  Cells share no
+state -- each builds a fresh :class:`~repro.kernel.machine.Machine`
+and all randomness is derived from the config seed via
+:class:`repro.sim.rng.RngStreams` -- so a sweep is embarrassingly
+parallel, and a parallel run must produce *byte-identical*
+``ExperimentResult.to_dict()`` payloads to a serial one.
+
+:class:`SweepRunner` shards cells across a ``ProcessPoolExecutor``:
+
+* **In-flight dedup** -- configs with the same cache key are simulated
+  once, however many times they appear in the request.
+* **Write-through caching** -- each worker writes its result into the
+  shared on-disk :class:`~repro.core.experiment.ResultCache`
+  (whose atomic puts make concurrent writers safe), and the parent
+  seeds its in-memory layer from the returned payload.
+* **Serial fallback** -- ``jobs=1`` runs everything in-process with no
+  executor, byte-identical to the parallel path.
+
+Workers are forked/spawned fresh per sweep; the result payloads are
+plain JSON-serializable dicts, so nothing simulation-side needs to be
+picklable.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+from repro.core.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    ResultCache,
+    run_experiment,
+)
+
+
+def default_jobs():
+    """Worker count: ``REPRO_JOBS`` if set, else the CPU count."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _run_cell(config_dict, cache_dir):
+    """Simulate one cell in a worker process.
+
+    Module-level so the executor can pickle it.  Takes and returns
+    plain dicts; the worker writes through to the shared disk cache
+    itself so progress survives even if the parent is killed.
+    """
+    config = ExperimentConfig(**config_dict)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    result = run_experiment(config, cache=cache)
+    return result.to_dict()
+
+
+class SweepRunner:
+    """Run a batch of :class:`ExperimentConfig` cells, possibly in
+    parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` runs serially in-process (no
+        executor); ``None`` uses :func:`default_jobs`.
+    cache:
+        A :class:`ResultCache` consulted before running and written
+        through afterwards.  Workers share its *directory*; the
+        parent's in-memory layer is seeded as results arrive.
+    progress:
+        Optional callback receiving human-readable status strings
+        (``cached tx-128-none``, ``done 3/8 tx-128-full``, ...).
+    """
+
+    def __init__(self, jobs=None, cache=None, progress=None):
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.cache = cache
+        self.progress = progress
+
+    def _say(self, msg):
+        if self.progress:
+            self.progress(msg)
+
+    def run(self, configs):
+        """Run every config; returns results in input order.
+
+        Duplicate configs (same cache key) are simulated once and the
+        shared result is fanned back out to every requesting slot.
+        """
+        configs = list(configs)
+        results = [None] * len(configs)
+
+        # Dedup by cache key: one simulation per unique cell.
+        slots = {}  # key -> [index, ...]
+        unique = {}  # key -> config
+        for i, config in enumerate(configs):
+            key = config.key()
+            slots.setdefault(key, []).append(i)
+            unique.setdefault(key, config)
+
+        pending = []
+        for key, config in unique.items():
+            hit = self.cache.get(config) if self.cache is not None else None
+            if hit is not None:
+                self._say("cached %s" % config.label())
+                for i in slots[key]:
+                    results[i] = hit
+            else:
+                pending.append((key, config))
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                self._run_serial(pending, slots, results)
+            else:
+                self._run_parallel(pending, slots, results)
+        return results
+
+    def _store(self, key, config, result, slots, results):
+        if self.cache is not None:
+            self.cache.put(config, result)
+        for i in slots[key]:
+            results[i] = result
+
+    def _run_serial(self, pending, slots, results):
+        total = len(pending)
+        for n, (key, config) in enumerate(pending, 1):
+            self._say("running %s" % config.label())
+            result = run_experiment(config)
+            self._store(key, config, result, slots, results)
+            self._say("done %d/%d %s" % (n, total, config.label()))
+
+    def _run_parallel(self, pending, slots, results):
+        total = len(pending)
+        cache_dir = self.cache.directory if self.cache is not None else None
+        workers = min(self.jobs, total)
+        executor = ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures = {}
+            for key, config in pending:
+                self._say("running %s" % config.label())
+                future = executor.submit(
+                    _run_cell, config.to_dict(), cache_dir
+                )
+                futures[future] = (key, config)
+            done = 0
+            for future in as_completed(futures):
+                payload = future.result()
+                key, config = futures[future]
+                result = ExperimentResult.from_dict(payload)
+                self._store(key, config, result, slots, results)
+                done += 1
+                self._say("done %d/%d %s" % (done, total, config.label()))
+        except BaseException:
+            # SIGINT or a worker failure: drop queued cells and let the
+            # atomic cache writes guarantee no torn files remain.
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
+        executor.shutdown()

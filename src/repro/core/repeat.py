@@ -42,50 +42,65 @@ class Summary:
             self.mean, self.stdev, len(self.values))
 
 
+def _run_batch(configs, cache=None, progress=None, jobs=None):
+    """Run a list of configs serially or via a parallel SweepRunner."""
+    if jobs is not None and jobs != 1:
+        from repro.core.parallel import SweepRunner
+
+        return SweepRunner(jobs=jobs, cache=cache, progress=progress).run(
+            configs
+        )
+    return [
+        run_experiment(config, cache=cache, progress=progress)
+        for config in configs
+    ]
+
+
 def replicate(config, seeds=(3, 5, 7, 11), metric="throughput_gbps",
-              cache=None, progress=None):
+              cache=None, progress=None, jobs=None):
     """Run ``config`` under each seed; returns a :class:`Summary`.
 
-    ``metric`` is an :class:`ExperimentResult` attribute name.
+    ``metric`` is an :class:`ExperimentResult` attribute name; ``jobs``
+    > 1 fans the per-seed runs out across worker processes.
     """
-    values = []
     base = config.to_dict()
+    configs = []
     for seed in seeds:
         base["seed"] = seed
-        result = run_experiment(
-            ExperimentConfig(**base), cache=cache, progress=progress
-        )
-        values.append(getattr(result, metric))
-    return Summary(values)
+        configs.append(ExperimentConfig(**base))
+    results = _run_batch(configs, cache=cache, progress=progress, jobs=jobs)
+    return Summary([getattr(result, metric) for result in results])
 
 
 def gain_statistics(direction, message_size, mode, baseline="none",
                     seeds=(3, 5, 7, 11), cache=None, progress=None,
-                    **config_kwargs):
+                    jobs=None, **config_kwargs):
     """Throughput gain of ``mode`` over ``baseline``, per seed.
 
     Returns a :class:`Summary` of the fractional gains, so callers can
     assert e.g. that the affinity benefit is positive for *every* seed
-    rather than on average.
+    rather than on average.  ``jobs`` > 1 runs the (seed x mode) grid
+    in parallel.
     """
-    gains = []
-    for seed in seeds:
-        results = {}
-        for affinity in (baseline, mode):
-            results[affinity] = run_experiment(
-                ExperimentConfig(
-                    direction=direction,
-                    message_size=message_size,
-                    affinity=affinity,
-                    seed=seed,
-                    **config_kwargs
-                ),
-                cache=cache,
-                progress=progress,
-            )
-        gains.append(
-            results[mode].throughput_gbps
-            / results[baseline].throughput_gbps
-            - 1.0
+    pairs = [
+        (seed, affinity) for seed in seeds for affinity in (baseline, mode)
+    ]
+    configs = [
+        ExperimentConfig(
+            direction=direction,
+            message_size=message_size,
+            affinity=affinity,
+            seed=seed,
+            **config_kwargs
         )
+        for seed, affinity in pairs
+    ]
+    results = _run_batch(configs, cache=cache, progress=progress, jobs=jobs)
+    by_cell = dict(zip(pairs, results))
+    gains = [
+        by_cell[(seed, mode)].throughput_gbps
+        / by_cell[(seed, baseline)].throughput_gbps
+        - 1.0
+        for seed in seeds
+    ]
     return Summary(gains)

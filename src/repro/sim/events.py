@@ -22,7 +22,7 @@ class Event:
     callback fires; ``order`` is the deterministic tie-breaker.
     """
 
-    __slots__ = ("time", "order", "callback", "cancelled", "label")
+    __slots__ = ("time", "order", "callback", "cancelled", "label", "_queue")
 
     def __init__(self, time, order, callback, label=""):
         self.time = time
@@ -30,10 +30,15 @@ class Event:
         self.callback = callback
         self.cancelled = False
         self.label = label
+        self._queue = None
 
     def cancel(self):
         """Mark the event so the engine skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled()
 
     def __lt__(self, other):
         if self.time != other.time:
@@ -48,26 +53,52 @@ class Event:
 class EventQueue:
     """A deterministic min-heap of :class:`Event` objects."""
 
+    #: Compact only past this heap size (small heaps aren't worth it).
+    COMPACT_MIN = 64
+
     def __init__(self):
         self._heap = []
         self._counter = itertools.count()
+        self._live = 0
 
     def __len__(self):
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def schedule(self, time, callback, label=""):
         """Schedule ``callback`` to run at simulated cycle ``time``."""
         if time < 0:
             raise ValueError("cannot schedule an event at negative time %r" % time)
         event = Event(time, next(self._counter), callback, label)
+        event._queue = self
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
+
+    def _note_cancelled(self):
+        """A live heap entry was just cancelled (called by Event)."""
+        self._live -= 1
+        if (
+            len(self._heap) >= self.COMPACT_MIN
+            and self._live * 2 < len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self):
+        """Drop lazily-cancelled debris and restore the heap invariant.
+
+        Event ordering keys (time, order) are unique, so re-heapifying
+        the surviving events preserves deterministic pop order.
+        """
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
 
     def pop(self):
         """Pop and return the earliest live event, or ``None`` when drained."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                event._queue = None
+                self._live -= 1
                 return event
         return None
 

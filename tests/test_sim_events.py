@@ -65,6 +65,51 @@ class TestEventQueue:
         with pytest.raises(ValueError):
             q.schedule(-1, lambda: None)
 
+    def test_len_is_counter_not_scan(self):
+        q = EventQueue()
+        events = [q.schedule(t, lambda: None) for t in range(10)]
+        assert len(q) == 10
+        for ev in events[:4]:
+            ev.cancel()
+        assert len(q) == 6
+        # Double-cancel must not double-decrement.
+        events[0].cancel()
+        assert len(q) == 6
+
+    def test_cancel_after_pop_does_not_corrupt_len(self):
+        q = EventQueue()
+        ev = q.schedule(1, lambda: None)
+        q.schedule(2, lambda: None)
+        assert q.pop() is ev
+        ev.cancel()  # already fired; must be a no-op for the counter
+        assert len(q) == 1
+        assert q.pop().time == 2
+        assert len(q) == 0
+
+    def test_mass_cancellation_compacts_heap(self):
+        q = EventQueue()
+        events = [q.schedule(t, lambda: None) for t in range(200)]
+        for ev in events[:150]:
+            ev.cancel()
+        assert len(q) == 50
+        # Opportunistic compaction bounds the cancelled debris: the
+        # physical heap never grows past twice the live count.
+        assert len(q._heap) <= 2 * len(q)
+        assert len(q._heap) < 200
+
+    def test_pop_order_survives_compaction(self):
+        q = EventQueue()
+        events = [q.schedule(t, lambda: None) for t in range(200)]
+        for ev in events[0:200:2]:
+            ev.cancel()
+        popped = []
+        while True:
+            ev = q.pop()
+            if ev is None:
+                break
+            popped.append(ev.time)
+        assert popped == list(range(1, 200, 2))
+
 
 class TestSimulationEngine:
     def test_clock_follows_events(self):

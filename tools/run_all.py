@@ -1,13 +1,17 @@
 """One-command full regeneration of every artefact.
 
-    python tools/run_all.py [--fresh]
+    python tools/run_all.py [--fresh] [--jobs N]
 
 Runs, in order: the unit/integration test suite, the benchmark suite
 (regenerating the paper's tables and figures into ``results/``), and
 the EXPERIMENTS.md report.  ``--fresh`` clears the result caches first
 so everything is recomputed from scratch (expect tens of minutes).
+``--jobs N`` fans the experiment sweeps out over N worker processes
+(exported as ``REPRO_JOBS`` so the benchmark fixtures pick it up; the
+default is one worker per CPU).
 """
 
+import os
 import shutil
 import subprocess
 import sys
@@ -19,6 +23,18 @@ def run(cmd):
 
 
 def main(argv):
+    argv = list(argv)
+    if "--jobs" in argv:
+        i = argv.index("--jobs")
+        try:
+            jobs = int(argv[i + 1])
+        except (IndexError, ValueError):
+            print("--jobs requires an integer", file=sys.stderr)
+            return 2
+        del argv[i:i + 2]
+        os.environ["REPRO_JOBS"] = str(max(1, jobs))
+        print("sweeps will use %d worker process(es)" % max(1, jobs))
+
     if "--fresh" in argv:
         for path in (".repro-results", "results"):
             shutil.rmtree(path, ignore_errors=True)
