@@ -27,7 +27,7 @@ from repro.core.experiment import (
 from repro.core.characterization import BIN_LABELS, STACK_BINS, characterize
 from repro.core.metrics import run_size_sweep
 from repro.core.modes import AFFINITY_MODES, EXTENDED_MODES
-from repro.core.parallel import default_jobs
+from repro.core.parallel import SweepRunner, default_jobs
 from repro.core.report import (
     render_figure3,
     render_figure4,
@@ -50,6 +50,12 @@ def _add_common(parser):
     parser.add_argument("--workload", choices=("ttcp", "iscsi", "web"),
                         default="ttcp",
                         help="application driving the stack")
+    parser.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="inject deterministic wire/NIC/IRQ faults, e.g. "
+             "'loss=0.01' or 'reorder=0.005,depth=4,irq=0.1' "
+             "(keys: loss, reorder, depth, dup, irq, irq_delay_us, "
+             "reorder_flush_us, direction, rto_ms, drop_every_n)")
 
 
 def _config(args, affinity):
@@ -63,6 +69,7 @@ def _config(args, affinity):
         measure_ms=args.measure_ms,
         seed=args.seed,
         workload=getattr(args, "workload", "ttcp"),
+        faults=getattr(args, "faults", None),
     )
 
 
@@ -86,6 +93,16 @@ def cmd_run(args):
               % (BIN_LABELS[bin], r.pct_cycles * 100, r.cpi, r.mpi))
     print("IPIs: %s   migrations: %d   c2c transfers: %d"
           % (result.ipis, result["migrations"], result["c2c_transfers"]))
+    faults = result.to_dict().get("faults")
+    if faults:
+        inj = faults["injected"]
+        print("faults: drops=%d dups=%d reorders=%d irq-delays=%d | "
+              "rto=%d fast-rexmit=%d dup-acks=%d peer-rexmit=%d "
+              "ooo-depth-peak=%d"
+              % (inj["drops"], inj["dups"], inj["reorders"],
+                 faults["irqs_delayed"], faults["rto_fires"],
+                 faults["fast_retransmits"], faults["dup_acks"],
+                 faults["peer_retransmits"], faults["reorder_depth_peak"]))
     return 0
 
 
@@ -109,12 +126,18 @@ def cmd_compare(args):
 def cmd_sweep(args):
     cache = None if args.no_cache else DEFAULT_CACHE
     sizes = tuple(args.sizes)
+    runner = SweepRunner(
+        jobs=args.jobs if args.jobs > 0 else default_jobs(),
+        cache=cache,
+        progress=lambda msg: print("[repro] %s" % msg, file=sys.stderr),
+        timeout=args.cell_timeout,
+        retries=args.retries,
+    )
     sweep = run_size_sweep(
         args.direction,
         sizes=sizes,
-        cache=cache,
-        progress=lambda msg: print("[repro] %s" % msg, file=sys.stderr),
-        jobs=args.jobs if args.jobs > 0 else default_jobs(),
+        runner=runner,
+        faults=args.faults,
         n_connections=args.connections,
         n_cpus=args.cpus,
         warmup_ms=args.warmup_ms,
@@ -124,6 +147,10 @@ def cmd_sweep(args):
     print(render_figure3(sweep, sizes, AFFINITY_MODES, args.direction))
     print()
     print(render_figure4(sweep, sizes, AFFINITY_MODES, args.direction))
+    if not runner.report.ok:
+        print("[repro] sweep incomplete: %s" % runner.report.summary(),
+              file=sys.stderr)
+        return 3
     return 0
 
 
@@ -172,6 +199,14 @@ def build_parser():
         "--jobs", type=int, default=1,
         help="worker processes for the sweep (1 = serial; 0 = one per "
              "CPU / $REPRO_JOBS)")
+    p_sweep.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock watchdog per sweep cell; cells past it are "
+             "retried then quarantined instead of hanging the sweep")
+    p_sweep.add_argument(
+        "--retries", type=int, default=1,
+        help="same-seed re-runs granted to a failing cell before it "
+             "is quarantined (default 1)")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1 for a corner")

@@ -24,6 +24,8 @@ from repro.cpu.function import BINS
 from repro.cpu.params import CostModel
 from repro.kernel.machine import Machine
 from repro.kernel.scheduler import SchedulerParams
+from repro.faults.invariants import InvariantChecker
+from repro.faults.plan import FaultInjector, FaultPlan
 from repro.net.params import NetParams
 from repro.net.stack import NetworkStack
 from repro.core.modes import apply_affinity
@@ -49,13 +51,20 @@ class ExperimentConfig:
         seed=3,
         cost_overrides=None,
         workload="ttcp",
+        faults=None,
     ):
         """``cost_overrides`` maps CostModel attribute names to values
         (e.g. ``{"c2c_transfer": 600}``), for sensitivity studies.
 
         ``workload`` selects the application driving the stack:
         ``"ttcp"`` (the paper's; honours ``direction``), ``"iscsi"``
-        (request/response target) or ``"web"`` (connection churn)."""
+        (request/response target) or ``"web"`` (connection churn).
+
+        ``faults`` optionally injects wire/NIC/IRQ faults: a
+        :class:`~repro.faults.plan.FaultPlan`, a dict of its fields, or
+        a spec string (``"loss=0.01,reorder=0.005"``).  ``None`` (the
+        default) keeps the run fault-free *and* keeps the cache key
+        identical to configs from before fault support existed."""
         if direction not in ("tx", "rx"):
             raise ValueError("direction must be 'tx' or 'rx'")
         if workload not in ("ttcp", "iscsi", "web"):
@@ -70,9 +79,10 @@ class ExperimentConfig:
         self.measure_ms = measure_ms
         self.seed = seed
         self.cost_overrides = dict(cost_overrides or {})
+        self.faults = FaultPlan.coerce(faults)
 
     def to_dict(self):
-        return dict(
+        d = dict(
             direction=self.direction,
             message_size=self.message_size,
             affinity=self.affinity,
@@ -84,6 +94,12 @@ class ExperimentConfig:
             cost_overrides=self.cost_overrides,
             workload=self.workload,
         )
+        # Omitted (not None) when fault-free so the cache keys of all
+        # pre-existing configs -- and their on-disk artefacts -- are
+        # unchanged.
+        if self.faults is not None:
+            d["faults"] = self.faults.to_dict()
+        return d
 
     def key(self):
         """Stable cache key."""
@@ -92,9 +108,12 @@ class ExperimentConfig:
 
     def label(self):
         prefix = "" if self.workload == "ttcp" else self.workload + "-"
-        return "%s%s-%d-%s" % (
+        base = "%s%s-%d-%s" % (
             prefix, self.direction, self.message_size, self.affinity
         )
+        if self.faults is not None:
+            base += "+faults"
+        return base
 
     def __repr__(self):
         return "ExperimentConfig(%s)" % self.label()
@@ -175,6 +194,34 @@ class ExperimentResult:
             c2c_transfers=machine.memsys.c2c_transfers,
             invalidations=machine.memsys.invalidations,
         )
+        injector = getattr(stack, "fault_injector", None)
+        if injector is not None:
+            socks = [c.sock for c in stack.connections]
+            peers = [c.peer for c in stack.connections]
+            data["faults"] = dict(
+                plan=injector.plan.to_dict(),
+                injected=injector.counters(),
+                tx_drops=sum(n.tx_drops for n in stack.nics),
+                rto_fires=data["rto_fires"]
+                + sum(p.rto_fires for p in peers),
+                fast_retransmits=sum(
+                    c.fast_retransmits for c in stack.connections
+                ),
+                retransmitted_segments=sum(
+                    c.retransmitted_segments for c in stack.connections
+                ),
+                dup_acks=sum(p.dup_acks_sent for p in peers)
+                + sum(p.dup_acks_seen for p in peers),
+                peer_retransmits=sum(p.retransmits for p in peers),
+                peer_rto_fires=sum(p.rto_fires for p in peers),
+                reorder_depth_peak=max(
+                    [p.reorder_depth_peak for p in peers]
+                    + [s.ooo_peak for s in socks]
+                ),
+                sut_ooo_segments=sum(s.ooo_segs_in for s in socks),
+                sut_dup_segments=sum(s.dup_segs_in for s in socks),
+                irqs_delayed=sum(n.irqs_delayed for n in stack.nics),
+            )
         return cls(data)
 
     @classmethod
@@ -312,13 +359,20 @@ def run_experiment(config, cache=None, progress=None):
         "iscsi": "iscsi",
         "web": "web",
     }[config.workload]
+    plan = config.faults
+    if plan is not None and plan.rto_ms is not None:
+        net_params = NetParams(rto_ms=plan.rto_ms)
+    else:
+        net_params = NetParams()
     stack = NetworkStack(
         machine,
-        NetParams(),
+        net_params,
         n_connections=config.n_connections,
         mode=stack_mode,
         message_size=config.message_size,
     )
+    if plan is not None and plan.enabled:
+        FaultInjector(machine, plan).attach(stack)
     if config.workload == "ttcp":
         workload = TtcpWorkload(machine, stack, config.message_size)
     elif config.workload == "iscsi":
@@ -333,6 +387,9 @@ def run_experiment(config, cache=None, progress=None):
     machine.reset_measurement()
     machine.run_for(config.measure_ms * MS)
     result = ExperimentResult.from_machine(config, machine, stack, workload)
+    # Invariants hold for every run, faulted or not; checking before
+    # the cache write keeps corrupt results out of the artefact store.
+    InvariantChecker(machine, stack).check()
     if cache is not None:
         cache.put(config, result)
     return result

@@ -21,6 +21,8 @@ def run_size_sweep(
     cache=None,
     progress=None,
     jobs=None,
+    faults=None,
+    runner=None,
     **config_kwargs
 ):
     """Run the full (size x mode) grid for one direction.
@@ -30,6 +32,14 @@ def run_size_sweep(
     like ``1``) runs serially in-process.  Both paths produce
     identical results.
 
+    ``faults`` (a plan, dict or spec string -- see
+    :meth:`repro.faults.plan.FaultPlan.coerce`) applies one fault plan
+    to every cell.  ``runner`` supplies a pre-built
+    :class:`~repro.core.parallel.SweepRunner` -- use it to set a
+    per-cell ``timeout``/``retries`` budget and to read
+    ``runner.report`` afterwards; cells that failed despite retries
+    map to ``None`` in the returned dict.
+
     Returns ``{(size, mode): ExperimentResult}``.
     """
     cells = [(size, mode) for size in sizes for mode in modes]
@@ -38,11 +48,14 @@ def run_size_sweep(
             direction=direction,
             message_size=size,
             affinity=mode,
+            faults=faults,
             **config_kwargs
         )
         for size, mode in cells
     ]
-    if jobs is not None and jobs != 1:
+    if runner is not None:
+        flat = runner.run(configs)
+    elif jobs is not None and jobs != 1:
         from repro.core.parallel import SweepRunner
 
         runner = SweepRunner(jobs=jobs, cache=cache, progress=progress)

@@ -1,4 +1,4 @@
-"""Parallel experiment sweeps.
+"""Parallel, fault-tolerant experiment sweeps.
 
 Every paper artefact is regenerated from sweeps of independent
 experiment cells (direction x size x mode x seed).  Cells share no
@@ -18,6 +18,16 @@ parallel, and a parallel run must produce *byte-identical*
   seeds its in-memory layer from the returned payload.
 * **Serial fallback** -- ``jobs=1`` runs everything in-process with no
   executor, byte-identical to the parallel path.
+* **Fault tolerance** -- one cell raising (an invariant violation, a
+  bad cost override) or hanging (a runaway simulation) no longer
+  throws away every other in-flight cell.  Each cell runs under a
+  try/except plus an optional wall-clock watchdog (``timeout``
+  seconds); a failing cell is retried with the same seed up to
+  ``retries`` times, then *quarantined*: its result slot is ``None``,
+  later ``run()`` calls skip it, and the per-run
+  :class:`FailureReport` (``runner.report``) names it.  Hung worker
+  processes are abandoned via a parent-side backstop deadline so the
+  sweep itself always terminates.
 
 Workers are forked/spawned fresh per sweep; the result payloads are
 plain JSON-serializable dicts, so nothing simulation-side needs to be
@@ -25,7 +35,16 @@ picklable.
 """
 
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import signal
+import threading
+import time
+import warnings
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.core.experiment import (
     ExperimentConfig,
@@ -33,6 +52,10 @@ from repro.core.experiment import (
     ResultCache,
     run_experiment,
 )
+
+#: Seconds past the in-worker watchdog before the parent abandons a
+#: worker as wedged (the watchdog signal itself failed to fire).
+WATCHDOG_GRACE = 5.0
 
 
 def default_jobs():
@@ -42,26 +65,126 @@ def default_jobs():
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            warnings.warn(
+                "ignoring invalid REPRO_JOBS=%r (not an integer); "
+                "falling back to os.cpu_count()" % env,
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return os.cpu_count() or 1
 
 
-def _run_cell(config_dict, cache_dir):
+class CellTimeout(Exception):
+    """A sweep cell exceeded its wall-clock watchdog."""
+
+
+class _Watchdog:
+    """SIGALRM-based wall-clock limit around one experiment cell.
+
+    Arms only in the main thread of a process with SIGALRM (workers
+    qualify; so does a serial run under pytest).  Elsewhere it is a
+    no-op -- the parent-side backstop deadline still bounds the sweep.
+    """
+
+    def __init__(self, seconds, label):
+        self.seconds = seconds
+        self.label = label
+        self._prev = None
+        self._armed = False
+
+    def __enter__(self):
+        if not self.seconds or not hasattr(signal, "SIGALRM"):
+            return self
+        if threading.current_thread() is not threading.main_thread():
+            return self
+
+        def _fire(signum, frame):
+            raise CellTimeout(
+                "cell %s exceeded %.1fs watchdog"
+                % (self.label, self.seconds)
+            )
+
+        self._prev = signal.signal(signal.SIGALRM, _fire)
+        signal.setitimer(signal.ITIMER_REAL, self.seconds)
+        self._armed = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._armed:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, self._prev)
+        return False
+
+
+def _run_cell(config_dict, cache_dir, timeout=None):
     """Simulate one cell in a worker process.
 
     Module-level so the executor can pickle it.  Takes and returns
     plain dicts; the worker writes through to the shared disk cache
-    itself so progress survives even if the parent is killed.
+    itself so progress survives even if the parent is killed.  Never
+    raises: failures come back as ``{"ok": False, ...}`` envelopes so
+    a bad cell cannot poison the pool.
     """
     config = ExperimentConfig(**config_dict)
     cache = ResultCache(cache_dir) if cache_dir else None
-    result = run_experiment(config, cache=cache)
-    return result.to_dict()
+    try:
+        with _Watchdog(timeout, config.label()):
+            result = run_experiment(config, cache=cache)
+    except CellTimeout as exc:
+        return {"ok": False, "kind": "timeout", "error": str(exc)}
+    except Exception as exc:
+        return {
+            "ok": False,
+            "kind": "error",
+            "error": "%s: %s" % (type(exc).__name__, exc),
+        }
+    return {"ok": True, "payload": result.to_dict()}
+
+
+class CellFailure:
+    """One quarantined sweep cell."""
+
+    def __init__(self, key, config, kind, error, attempts):
+        self.key = key
+        self.config = config
+        self.label = config.label()
+        self.kind = kind  # "timeout" | "error"
+        self.error = error
+        self.attempts = attempts
+
+    def describe(self):
+        return "%s [%s after %d attempt(s)]: %s" % (
+            self.label, self.kind, self.attempts, self.error
+        )
+
+    def __repr__(self):
+        return "CellFailure(%s)" % self.describe()
+
+
+class FailureReport:
+    """The failed cells of one ``SweepRunner.run`` call."""
+
+    def __init__(self, failures=()):
+        self.failures = list(failures)
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    def summary(self):
+        if self.ok:
+            return "all cells completed"
+        lines = ["%d cell(s) failed:" % len(self.failures)]
+        lines.extend("  - %s" % f.describe() for f in self.failures)
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "FailureReport(%d failure(s))" % len(self.failures)
 
 
 class SweepRunner:
     """Run a batch of :class:`ExperimentConfig` cells, possibly in
-    parallel.
+    parallel, tolerating per-cell failures.
 
     Parameters
     ----------
@@ -74,26 +197,74 @@ class SweepRunner:
         parent's in-memory layer is seeded as results arrive.
     progress:
         Optional callback receiving human-readable status strings
-        (``cached tx-128-none``, ``done 3/8 tx-128-full``, ...).
+        (``cached tx-128-none``, ``running tx-128-full``, ``done 3/8
+        tx-128-full``, ``failed ...``, ``quarantined ...``) -- one
+        formatter shared by the serial and parallel paths.
+    timeout:
+        Per-cell wall-clock watchdog in seconds (``None`` disables).
+        In parallel mode the parent additionally abandons workers
+        ``WATCHDOG_GRACE`` seconds past the deadline.
+    retries:
+        Re-runs (same seed) granted to a failing cell before it is
+        quarantined.
+
+    After each ``run()``, :attr:`report` is the
+    :class:`FailureReport`; failed cells occupy their result slots as
+    ``None``.  Quarantined keys persist across ``run()`` calls on the
+    same runner.
     """
 
-    def __init__(self, jobs=None, cache=None, progress=None):
+    def __init__(self, jobs=None, cache=None, progress=None,
+                 timeout=None, retries=1):
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.cache = cache
         self.progress = progress
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.quarantined = {}  # key -> CellFailure
+        self.report = FailureReport()
+
+    # -- progress formatting (shared by serial and parallel paths) ------
 
     def _say(self, msg):
         if self.progress:
             self.progress(msg)
+
+    def _say_cached(self, config):
+        self._say("cached %s" % config.label())
+
+    def _say_running(self, config, attempt=1):
+        if attempt > 1:
+            self._say(
+                "running %s (retry %d/%d)"
+                % (config.label(), attempt - 1, self.retries)
+            )
+        else:
+            self._say("running %s" % config.label())
+
+    def _say_done(self, n, total, config):
+        self._say("done %d/%d %s" % (n, total, config.label()))
+
+    def _say_failed(self, failure):
+        self._say("failed %s" % failure.describe())
+
+    def _say_quarantined(self, config):
+        self._say("quarantined %s (failed earlier this session)"
+                  % config.label())
+
+    # -- the sweep ------------------------------------------------------
 
     def run(self, configs):
         """Run every config; returns results in input order.
 
         Duplicate configs (same cache key) are simulated once and the
         shared result is fanned back out to every requesting slot.
+        Failed cells leave ``None`` in their slots and are collected
+        in :attr:`report`.
         """
         configs = list(configs)
         results = [None] * len(configs)
+        failures = []
 
         # Dedup by cache key: one simulation per unique cell.
         slots = {}  # key -> [index, ...]
@@ -105,9 +276,13 @@ class SweepRunner:
 
         pending = []
         for key, config in unique.items():
+            if key in self.quarantined:
+                self._say_quarantined(config)
+                failures.append(self.quarantined[key])
+                continue
             hit = self.cache.get(config) if self.cache is not None else None
             if hit is not None:
-                self._say("cached %s" % config.label())
+                self._say_cached(config)
                 for i in slots[key]:
                     results[i] = hit
             else:
@@ -115,9 +290,10 @@ class SweepRunner:
 
         if pending:
             if self.jobs == 1 or len(pending) == 1:
-                self._run_serial(pending, slots, results)
+                self._run_serial(pending, slots, results, failures)
             else:
-                self._run_parallel(pending, slots, results)
+                self._run_parallel(pending, slots, results, failures)
+        self.report = FailureReport(failures)
         return results
 
     def _store(self, key, config, result, slots, results):
@@ -126,38 +302,140 @@ class SweepRunner:
         for i in slots[key]:
             results[i] = result
 
-    def _run_serial(self, pending, slots, results):
-        total = len(pending)
-        for n, (key, config) in enumerate(pending, 1):
-            self._say("running %s" % config.label())
-            result = run_experiment(config)
-            self._store(key, config, result, slots, results)
-            self._say("done %d/%d %s" % (n, total, config.label()))
+    def _quarantine(self, key, config, kind, error, attempts, failures):
+        failure = CellFailure(key, config, kind, error, attempts)
+        self.quarantined[key] = failure
+        failures.append(failure)
+        self._say_failed(failure)
 
-    def _run_parallel(self, pending, slots, results):
+    def _run_serial(self, pending, slots, results, failures):
+        total = len(pending)
+        done = 0
+        for key, config in pending:
+            attempt = 0
+            while True:
+                attempt += 1
+                self._say_running(config, attempt)
+                try:
+                    with _Watchdog(self.timeout, config.label()):
+                        result = run_experiment(config)
+                except Exception as exc:
+                    kind = (
+                        "timeout" if isinstance(exc, CellTimeout)
+                        else "error"
+                    )
+                    detail = (
+                        str(exc) if isinstance(exc, CellTimeout)
+                        else "%s: %s" % (type(exc).__name__, exc)
+                    )
+                    if attempt <= self.retries:
+                        continue
+                    self._quarantine(
+                        key, config, kind, detail, attempt, failures
+                    )
+                    break
+                self._store(key, config, result, slots, results)
+                done += 1
+                self._say_done(done, total, config)
+                break
+
+    def _run_parallel(self, pending, slots, results, failures):
         total = len(pending)
         cache_dir = self.cache.directory if self.cache is not None else None
         workers = min(self.jobs, total)
         executor = ProcessPoolExecutor(max_workers=workers)
-        try:
-            futures = {}
-            for key, config in pending:
-                self._say("running %s" % config.label())
-                future = executor.submit(
-                    _run_cell, config.to_dict(), cache_dir
+        inflight = {}  # future -> (key, config, attempt, deadline)
+        done_count = 0
+        hung_workers = False
+        pool_broken = False
+
+        def submit(key, config, attempt):
+            self._say_running(config, attempt)
+            future = executor.submit(
+                _run_cell, config.to_dict(), cache_dir, self.timeout
+            )
+            deadline = (
+                time.monotonic() + self.timeout + WATCHDOG_GRACE
+                if self.timeout else None
+            )
+            inflight[future] = (key, config, attempt, deadline)
+
+        def failed(key, config, attempt, kind, error):
+            # Retry in a fresh slot, or quarantine for good.
+            if attempt <= self.retries and not pool_broken:
+                submit(key, config, attempt + 1)
+            else:
+                self._quarantine(
+                    key, config, kind, error, attempt, failures
                 )
-                futures[future] = (key, config)
-            done = 0
-            for future in as_completed(futures):
-                payload = future.result()
-                key, config = futures[future]
-                result = ExperimentResult.from_dict(payload)
-                self._store(key, config, result, slots, results)
-                done += 1
-                self._say("done %d/%d %s" % (done, total, config.label()))
+
+        try:
+            for key, config in pending:
+                submit(key, config, 1)
+            while inflight:
+                wait_for = None
+                if self.timeout is not None:
+                    soonest = min(
+                        d for (_, _, _, d) in inflight.values()
+                    )
+                    wait_for = max(0.0, soonest - time.monotonic())
+                ready, _ = wait(
+                    list(inflight), timeout=wait_for,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not ready:
+                    # Backstop: the watchdog inside some worker failed
+                    # to fire (wedged interpreter); abandon overdue
+                    # futures so the sweep terminates.
+                    now = time.monotonic()
+                    for future in list(inflight):
+                        key, config, attempt, deadline = inflight[future]
+                        if deadline is not None and now >= deadline:
+                            del inflight[future]
+                            future.cancel()
+                            hung_workers = True
+                            failed(
+                                key, config, attempt, "timeout",
+                                "worker unresponsive %.1fs past the "
+                                "%.1fs watchdog; abandoned"
+                                % (WATCHDOG_GRACE, self.timeout),
+                            )
+                    continue
+                for future in ready:
+                    key, config, attempt, _ = inflight.pop(future)
+                    try:
+                        envelope = future.result()
+                    except BrokenProcessPool as exc:
+                        pool_broken = True
+                        failed(
+                            key, config, self.retries + 1, "error",
+                            "worker pool broke: %s" % exc,
+                        )
+                        continue
+                    except Exception as exc:
+                        failed(
+                            key, config, attempt, "error",
+                            "%s: %s" % (type(exc).__name__, exc),
+                        )
+                        continue
+                    if not envelope.get("ok"):
+                        failed(
+                            key, config, attempt,
+                            envelope.get("kind", "error"),
+                            envelope.get("error", "unknown failure"),
+                        )
+                        continue
+                    result = ExperimentResult.from_dict(
+                        envelope["payload"]
+                    )
+                    self._store(key, config, result, slots, results)
+                    done_count += 1
+                    self._say_done(done_count, total, config)
         except BaseException:
-            # SIGINT or a worker failure: drop queued cells and let the
-            # atomic cache writes guarantee no torn files remain.
+            # SIGINT or an unexpected runner bug: drop queued cells and
+            # let the atomic cache writes guarantee no torn files.
             executor.shutdown(wait=False, cancel_futures=True)
             raise
-        executor.shutdown()
+        # Abandoned (hung) workers would make a plain shutdown block
+        # forever; leave them to die with the process group.
+        executor.shutdown(wait=not hung_workers, cancel_futures=True)

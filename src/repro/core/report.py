@@ -15,7 +15,12 @@ from repro.core.speedup import improvement_table
 
 
 def render_figure3(sweep, sizes, modes, direction):
-    """Figure 3: bandwidth and CPU utilization vs transaction size."""
+    """Figure 3: bandwidth and CPU utilization vs transaction size.
+
+    Cells whose experiment failed (``None`` in ``sweep``, from a
+    fault-tolerant :class:`~repro.core.parallel.SweepRunner`) render
+    as ``FAIL``/``--`` instead of aborting the whole figure.
+    """
     headers = ["size"]
     for mode in modes:
         headers.append("%s Mb/s" % mode)
@@ -29,24 +34,30 @@ def render_figure3(sweep, sizes, modes, direction):
     for size in sizes:
         cells = [str(size)]
         for mode in modes:
-            cells.append("%.0f" % sweep[(size, mode)].throughput_mbps)
+            r = sweep.get((size, mode))
+            cells.append("FAIL" if r is None else "%.0f" % r.throughput_mbps)
         for mode in modes:
-            cells.append(format_pct(sweep[(size, mode)].utilization, 0))
+            r = sweep.get((size, mode))
+            cells.append("--" if r is None else format_pct(r.utilization, 0))
         table.add_row(*cells)
     return table.render()
 
 
 def render_figure4(sweep, sizes, modes, direction):
-    """Figure 4: GHz/Gbps cost vs transaction size."""
+    """Figure 4: GHz/Gbps cost vs transaction size.
+
+    Failed (``None``) cells render as ``FAIL``.
+    """
     table = TextTable(
         ["size"] + ["%s" % m for m in modes],
         title="Figure 4 (%s): cost in GHz/Gbps" % direction.upper(),
     )
     for size in sizes:
-        table.add_row(
-            str(size),
-            *("%.2f" % sweep[(size, mode)].cost_ghz_per_gbps for mode in modes)
-        )
+        row = [str(size)]
+        for mode in modes:
+            r = sweep.get((size, mode))
+            row.append("FAIL" if r is None else "%.2f" % r.cost_ghz_per_gbps)
+        table.add_row(*row)
     return table.render()
 
 

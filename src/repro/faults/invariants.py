@@ -1,0 +1,182 @@
+"""End-of-run invariant checking.
+
+Fault injection exercises recovery code (RTO, fast retransmit,
+out-of-order reassembly) that the loss-free baseline never runs, so a
+bug there would silently corrupt results instead of crashing.  The
+:class:`InvariantChecker` closes that hole: after every experiment it
+validates the properties that must hold *whatever* faults were
+injected, because TCP's job is exactly to hide them:
+
+* **byte-stream integrity** -- each direction's receiver saw a prefix
+  of the sender's stream, every byte exactly once and in order
+  (``snd_una <= receiver.rcv_nxt <= snd_nxt``, and the receive side's
+  cumulative queued-byte count equals its ``rcv_nxt``);
+* **skb conservation** -- every allocated buffer is live or freed
+  exactly once: ``head_live - clones_live == data_live`` (a clone
+  shares its original's data buffer), and the slab caches saw no
+  double frees;
+* **structural sanity** -- reassembly queues hold only segments beyond
+  ``rcv_nxt``, receive queues are contiguous and end at ``rcv_nxt``;
+* **event-queue monotonicity** -- the engine never ran time backwards.
+
+Failures raise :class:`SimulationInvariantError` carrying the violation
+list and the tail of the engine's event trace (enabled whenever a
+:class:`~repro.faults.plan.FaultInjector` is attached), so a violation
+is diagnosable from the exception alone.
+"""
+
+
+class SimulationInvariantError(RuntimeError):
+    """A post-run invariant does not hold.
+
+    Attributes
+    ----------
+    violations:
+        Human-readable descriptions, one per failed invariant.
+    trace:
+        The engine's event-trace tail (``(time, label)`` tuples),
+        empty when tracing was not enabled.
+    """
+
+    def __init__(self, violations, trace=()):
+        self.violations = list(violations)
+        self.trace = list(trace)
+        lines = ["%d invariant violation(s):" % len(self.violations)]
+        lines.extend("  - %s" % v for v in self.violations)
+        if self.trace:
+            lines.append("event trace tail (%d events):" % len(self.trace))
+            lines.extend(
+                "  t=%d %s" % (t, label or "<unlabelled>")
+                for t, label in self.trace
+            )
+        super().__init__("\n".join(lines))
+
+
+class InvariantChecker:
+    """Validates one finished (or mid-flight-stopped) simulation."""
+
+    def __init__(self, machine, stack):
+        self.machine = machine
+        self.stack = stack
+
+    def check(self):
+        """Raise :class:`SimulationInvariantError` if anything is off."""
+        violations = self.violations()
+        if violations:
+            raise SimulationInvariantError(
+                violations, self.machine.engine.trace_tail()
+            )
+
+    def violations(self):
+        out = []
+        self._check_engine(out)
+        self._check_skb_conservation(out)
+        for conn in self.stack.connections:
+            self._check_structure(conn, out)
+            if self.stack.mode != "web":
+                # Web episodes reset sequence state at teardown, so the
+                # cumulative stream bounds only apply to the long-lived
+                # bulk/iscsi connections.
+                self._check_streams(conn, out)
+        return out
+
+    # -- engine ---------------------------------------------------------
+
+    def _check_engine(self, out):
+        engine = self.machine.engine
+        if engine.monotonicity_violations:
+            out.append(
+                "event queue ran time backwards %d time(s)"
+                % engine.monotonicity_violations
+            )
+
+    # -- skb conservation -----------------------------------------------
+
+    def _check_skb_conservation(self, out):
+        pools = self.stack.pools
+        head, data = pools.head_cache, pools.data_cache
+        for cache in (head, data):
+            if cache.double_frees:
+                out.append(
+                    "slab %s saw %d double free(s)"
+                    % (cache.name, cache.double_frees)
+                )
+            if cache.live < 0:
+                out.append(
+                    "slab %s live count went negative (%d)"
+                    % (cache.name, cache.live)
+                )
+        expected_data = head.live - pools.clones_live
+        if expected_data != data.live:
+            out.append(
+                "skb conservation broken: %d heads - %d clones != %d "
+                "data buffers (leak or double free)"
+                % (head.live, pools.clones_live, data.live)
+            )
+
+    # -- per-connection structure ---------------------------------------
+
+    def _check_structure(self, conn, out):
+        sock = conn.sock
+        prev_end = None
+        for skb in sock.ooo_queue:
+            if skb.seq < sock.rcv_nxt:
+                out.append(
+                    "%s: ooo queue holds seq=%d below rcv_nxt=%d"
+                    % (sock.name, skb.seq, sock.rcv_nxt)
+                )
+            if prev_end is not None and skb.seq < prev_end:
+                out.append(
+                    "%s: ooo queue out of order at seq=%d"
+                    % (sock.name, skb.seq)
+                )
+            prev_end = skb.end_seq
+        queue = sock.receive_queue
+        for prev, nxt in zip(queue, queue[1:]):
+            if nxt.seq != prev.end_seq:
+                out.append(
+                    "%s: receive queue gap %d..%d"
+                    % (sock.name, prev.end_seq, nxt.seq)
+                )
+        if queue and queue[-1].end_seq != sock.rcv_nxt:
+            out.append(
+                "%s: receive queue ends at %d but rcv_nxt=%d"
+                % (sock.name, queue[-1].end_seq, sock.rcv_nxt)
+            )
+        peer = conn.peer
+        for seq, end_seq in peer._ooo:
+            if seq < peer.rcv_nxt:
+                out.append(
+                    "peer%d: ooo entry seq=%d below rcv_nxt=%d"
+                    % (conn.conn_id, seq, peer.rcv_nxt)
+                )
+
+    # -- byte-stream integrity ------------------------------------------
+
+    def _check_streams(self, conn, out):
+        sock = conn.sock
+        peer = conn.peer
+        # SUT -> peer: the peer's contiguous stream must sit between
+        # what the SUT knows is acked and what it has sent.
+        if not (sock.snd_una <= peer.rcv_nxt <= sock.snd_nxt):
+            out.append(
+                "conn%d SUT->peer stream out of bounds: "
+                "snd_una=%d rcv_nxt=%d snd_nxt=%d"
+                % (conn.conn_id, sock.snd_una, peer.rcv_nxt, sock.snd_nxt)
+            )
+        # Peer -> SUT: symmetric bound for source-style peers.
+        if not (peer.snd_una <= sock.rcv_nxt <= peer.snd_nxt):
+            out.append(
+                "conn%d peer->SUT stream out of bounds: "
+                "snd_una=%d rcv_nxt=%d snd_nxt=%d"
+                % (conn.conn_id, peer.snd_una, sock.rcv_nxt, peer.snd_nxt)
+            )
+        # Every byte the SUT's stream advanced over was queued exactly
+        # once (duplicates freed, out-of-order held aside, no byte
+        # counted twice).
+        if sock.bytes_queued_total != sock.rcv_nxt:
+            out.append(
+                "conn%d queued %d bytes but rcv_nxt=%d "
+                "(duplicate or lost delivery)"
+                % (conn.conn_id, sock.bytes_queued_total, sock.rcv_nxt)
+            )

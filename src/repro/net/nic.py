@@ -58,10 +58,13 @@ class Nic:
         self._irq_latched = False
         self._coalesce_timer = None
 
-        #: Fault injection: when set to N > 0, every Nth transmitted
+        #: Legacy fault knob: when set to N > 0, every Nth transmitted
         #: frame is lost on the way to the peer (the SUT still sees a
-        #: normal TX completion).  Used to exercise loss recovery.
+        #: normal TX completion).  Subsumed by ``faults`` (a
+        #: :class:`~repro.faults.plan.FaultInjector`), which adds
+        #: seeded drop/reorder/duplicate/IRQ-delay at the same point.
         self.drop_every_n = 0
+        self.faults = None
 
         # Statistics.
         self.frames_out = 0
@@ -71,6 +74,7 @@ class Nic:
         self.rx_drops = 0
         self.tx_drops = 0
         self.irqs_fired = 0
+        self.irqs_delayed = 0
 
     # ------------------------------------------------------------------
     # Descriptor address helpers (for driver-side cache touches).
@@ -118,12 +122,21 @@ class Nic:
         ):
             self.tx_drops += 1
             return  # lost on the wire; the peer never sees it
-        if self.peer is not None:
-            self.engine.schedule_after(
-                self.params.one_way_delay_cycles,
-                lambda: self.peer.on_frame(packet),
-                label="%s->peer" % self.name,
-            )
+        if self.peer is None:
+            return
+        if self.faults is not None and packet.ctl is None:
+            # The injector decides this frame's fate; control frames
+            # are exempt (connection lifecycle is not retransmitted).
+            self.faults.on_frame(self, "tx", packet, self._send_to_peer)
+        else:
+            self._send_to_peer(packet)
+
+    def _send_to_peer(self, packet):
+        self.engine.schedule_after(
+            self.params.one_way_delay_cycles,
+            lambda: self.peer.on_frame(packet),
+            label="%s->peer" % self.name,
+        )
 
     # ------------------------------------------------------------------
     # Receive path (frames arrive from the peer).
@@ -139,6 +152,12 @@ class Nic:
 
     def deliver_frame(self, packet):
         """Peer-side entry: serialize on our receive wire, then DMA."""
+        if self.faults is not None and packet.ctl is None:
+            self.faults.on_frame(self, "rx", packet, self._enqueue_rx)
+        else:
+            self._enqueue_rx(packet)
+
+    def _enqueue_rx(self, packet):
         start = max(self.engine.now, self._rx_wire_free_at)
         done = start + self.params.wire_cycles(packet.wire_len)
         self._rx_wire_free_at = done
@@ -195,6 +214,16 @@ class Nic:
             self._coalesce_timer.cancel()
             self._coalesce_timer = None
         self.irqs_fired += 1
+        if self.faults is not None:
+            delay = self.faults.irq_delay_cycles(self)
+            if delay > 0:
+                self.irqs_delayed += 1
+                self.engine.schedule_after(
+                    delay,
+                    lambda: self.machine.raise_irq(self.vector),
+                    label="%s irq-delay" % self.name,
+                )
+                return
         self.machine.raise_irq(self.vector)
 
     def claim(self):
@@ -212,4 +241,6 @@ class Nic:
         self.bytes_out = 0
         self.bytes_in = 0
         self.rx_drops = 0
+        self.tx_drops = 0
         self.irqs_fired = 0
+        self.irqs_delayed = 0

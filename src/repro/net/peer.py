@@ -48,6 +48,8 @@ class Peer:
         #: past a loss-induced gap, merged when the gap fills.
         self._ooo = []
         self.dup_acks_sent = 0
+        self.dup_segments_rcvd = 0
+        self.reorder_depth_peak = 0
 
         # Source state.
         self.snd_nxt = 0
@@ -55,6 +57,18 @@ class Peer:
         self.peer_rcv_window = params.max_window
         self._pump_scheduled = False
         self.total_sent = 0
+        #: Loss recovery (source mode): off by default -- the loss-free
+        #: baseline's event sequence must not change -- and enabled by
+        #: the fault injector, which makes the peer behave like a
+        #: correct TCP sender: RTO with doubling backoff plus fast
+        #: retransmit on three duplicate ACKs.
+        self.loss_recovery = False
+        self.dup_acks_seen = 0
+        self.retransmits = 0
+        self.rto_fires = 0
+        self._dupack_run = 0
+        self._rto_backoff = 1
+        self._rexmit_event = None
 
         # Initiator state.
         self.command_bytes = command_bytes
@@ -100,6 +114,8 @@ class Peer:
             # A gap: buffer out of order and duplicate-ACK immediately
             # so the sender's fast retransmit can kick in.
             self._ooo.append((packet.seq, packet.end_seq))
+            if len(self._ooo) > self.reorder_depth_peak:
+                self.reorder_depth_peak = len(self._ooo)
             self.dup_acks_sent += 1
             self._send_ack()
             return
@@ -109,6 +125,7 @@ class Peer:
         else:
             # Entirely duplicate data (a retransmission overlap): ack
             # our current state immediately.
+            self.dup_segments_rcvd += 1
             self._send_ack()
             return
         self._unacked_segments += 1
@@ -163,6 +180,23 @@ class Peer:
     def _source_on_frame(self, packet):
         if packet.ack_seq > self.snd_una:
             self.snd_una = packet.ack_seq
+            if self.loss_recovery:
+                self._dupack_run = 0
+                self._rto_backoff = 1
+                self._arm_rexmit()
+        elif (
+            self.loss_recovery
+            and packet.ack_seq == self.snd_una
+            and packet.window == self.peer_rcv_window
+            and self.snd_nxt > self.snd_una
+        ):
+            # Same ack, same window, data in flight: a duplicate ACK
+            # signalling a gap at the receiver (window updates from the
+            # reader draining are excluded by the window comparison).
+            self._dupack_run += 1
+            self.dup_acks_seen += 1
+            if self._dupack_run == 3:
+                self._retransmit_head()
         self.peer_rcv_window = packet.window
         self._pump()
 
@@ -176,6 +210,49 @@ class Peer:
             self.snd_nxt += mss
             self.total_sent += mss
             self.segments_sent += 1
+        if (
+            self.loss_recovery
+            and self._rexmit_event is None
+            and self.snd_nxt > self.snd_una
+        ):
+            self._arm_rexmit()
+
+    # -- loss recovery (enabled by the fault injector) -----------------
+
+    def enable_loss_recovery(self):
+        self.loss_recovery = True
+
+    def _arm_rexmit(self):
+        if self._rexmit_event is not None:
+            self._rexmit_event.cancel()
+            self._rexmit_event = None
+        if self.snd_nxt > self.snd_una:
+            self._rexmit_event = self.engine.schedule_after(
+                self.params.rto_cycles * self._rto_backoff,
+                self._rexmit_fire,
+                label="peer%d rto" % self.conn_id,
+            )
+
+    def _rexmit_fire(self):
+        self._rexmit_event = None
+        if self.snd_nxt <= self.snd_una:
+            return
+        self.rto_fires += 1
+        self._rto_backoff = min(self._rto_backoff * 2, 8)
+        self._dupack_run = 0
+        self._retransmit_head()
+        self._arm_rexmit()
+
+    def _retransmit_head(self):
+        """Resend the oldest unacknowledged segment."""
+        length = min(self.params.mss, self.snd_nxt - self.snd_una)
+        if length <= 0:
+            return
+        self.retransmits += 1
+        self.segments_sent += 1
+        self.nic.deliver_frame(
+            data_packet(self.conn_id, self.snd_una, length)
+        )
 
     # ------------------------------------------------------------------
     # Initiator: command/response pipelining (iSCSI-shaped).
@@ -193,6 +270,8 @@ class Peer:
         # Response data from the SUT: consume like a sink.
         if packet.seq > self.rcv_nxt:
             self._ooo.append((packet.seq, packet.end_seq))
+            if len(self._ooo) > self.reorder_depth_peak:
+                self.reorder_depth_peak = len(self._ooo)
             self.dup_acks_sent += 1
             self._send_ack()
             return
@@ -200,6 +279,7 @@ class Peer:
             self.rcv_nxt = packet.end_seq
             self._drain_ooo()
         else:
+            self.dup_segments_rcvd += 1
             self._send_ack()
             return
         self._unacked_segments += 1
@@ -266,6 +346,8 @@ class Peer:
         # Response data: consume like a sink.
         if packet.seq > self.rcv_nxt:
             self._ooo.append((packet.seq, packet.end_seq))
+            if len(self._ooo) > self.reorder_depth_peak:
+                self.reorder_depth_peak = len(self._ooo)
             self.dup_acks_sent += 1
             self._send_ack()
             return
@@ -273,6 +355,7 @@ class Peer:
             self.rcv_nxt = packet.end_seq
             self._drain_ooo()
         else:
+            self.dup_segments_rcvd += 1
             self._send_ack()
             return
         self._unacked_segments += 1
@@ -311,3 +394,8 @@ class Peer:
         self.segments_sent = 0
         self.connections_completed = 0
         self.requests_completed_total = 0
+        self.dup_acks_sent = 0
+        self.dup_segments_rcvd = 0
+        self.dup_acks_seen = 0
+        self.retransmits = 0
+        self.rto_fires = 0

@@ -31,24 +31,40 @@ class SlabCache:
         self.allocs = 0
         self.frees = 0
         self.cross_cpu_refills = 0
+        #: Absolute live-object count and double-free detection: these
+        #: survive measurement resets because the conservation law they
+        #: feed (see repro.faults.invariants) is about object identity,
+        #: not window activity.
+        self.live = 0
+        self._free_ids = set()
+        self.double_frees = 0
 
     def alloc(self, cpu_index):
         """Return a :class:`~repro.mem.layout.MemoryObject` to use."""
         self.allocs += 1
+        self.live += 1
         local = self._per_cpu[cpu_index]
         if local:
-            return local.pop()
-        if self._global:
+            obj = local.pop()
+        elif self._global:
             self.cross_cpu_refills += 1
-            return self._global.pop()
-        self.created += 1
-        return self._space.alloc(
-            "%s#%d" % (self.name, self.created), self.obj_size
-        )
+            obj = self._global.pop()
+        else:
+            self.created += 1
+            obj = self._space.alloc(
+                "%s#%d" % (self.name, self.created), self.obj_size
+            )
+        self._free_ids.discard(id(obj))
+        return obj
 
     def free(self, obj, cpu_index):
         """Return an object to ``cpu_index``'s freelist (LIFO = hot)."""
+        if id(obj) in self._free_ids:
+            self.double_frees += 1
+            return
+        self._free_ids.add(id(obj))
         self.frees += 1
+        self.live -= 1
         local = self._per_cpu[cpu_index]
         if len(local) < PER_CPU_FREELIST_MAX:
             local.append(obj)
@@ -150,6 +166,9 @@ class SkbPools:
         )
         machine.add_resettable(self.head_cache)
         machine.add_resettable(self.data_cache)
+        #: Live clone skbs (share their original's data buffer); part
+        #: of the skb conservation law checked after every run.
+        self.clones_live = 0
 
     def alloc(self, ctx, spec, base_instructions, conn=None):
         """``alloc_skb``: charge buffer-mgmt work, return a fresh skb."""
@@ -179,7 +198,9 @@ class SkbPools:
             writes=[(skb.head.addr, 64)],
         )
         self.head_cache.free(skb.head, cpu_index)
-        if not skb.is_clone:
+        if skb.is_clone:
+            self.clones_live -= 1
+        else:
             self.data_cache.free(skb.data, cpu_index)
 
     def clone(self, ctx, spec, base_instructions, skb):
@@ -191,6 +212,7 @@ class SkbPools:
         clone.end_seq = skb.end_seq
         clone.is_ack = skb.is_ack
         clone.is_clone = True
+        self.clones_live += 1
         ctx.charge(
             spec,
             base_instructions,

@@ -16,6 +16,11 @@ from repro.kernel.task import WaitQueue
 SOCK_SIZE = 2048
 TCB_BYTES = 1024
 
+#: Bound on the out-of-order reassembly queue; beyond this the segment
+#: is dropped and the sender's retransmission covers the range (2.4
+#: similarly sheds ofo segments under rmem pressure).
+OOO_QUEUE_MAX = 128
+
 
 class Sock:
     """One established TCP connection endpoint on the SUT."""
@@ -60,6 +65,17 @@ class Sock:
         # ----- receive state -----
         self.rcv_nxt = 0
         self.receive_queue = []
+        #: Out-of-order reassembly queue (``tcp_ofo_queue``), sorted by
+        #: sequence; only populated when faults disturb the receive
+        #: stream.  Held segments are deliberately *not* charged to
+        #: ``rmem_queued``: the advertised window must not wobble with
+        #: reassembly state, or the duplicate ACKs that signal a gap
+        #: would stop looking like duplicates to the sender.
+        self.ooo_queue = []
+        self.ooo_segs_in = 0
+        self.dup_segs_in = 0
+        self.ooo_drops = 0
+        self.ooo_peak = 0
         self.rmem_queued = 0
         self.last_window_advertised = params.max_window
         self.segs_since_ack = 0
@@ -168,17 +184,43 @@ class Sock:
         self.segs_in += 1
         self.bytes_queued_total += skb.len
 
+    def enqueue_ooo(self, skb):
+        """Hold an out-of-order segment for reassembly.
+
+        Returns ``False`` when the segment is already held (a duplicate
+        delivery) or the queue is full -- the caller frees the skb and
+        the sender's retransmission covers the range either way.
+        """
+        if len(self.ooo_queue) >= OOO_QUEUE_MAX:
+            self.ooo_drops += 1
+            return False
+        insert_at = 0
+        for i, held in enumerate(self.ooo_queue):
+            if held.seq == skb.seq and held.end_seq == skb.end_seq:
+                self.dup_segs_in += 1
+                return False
+            if held.seq < skb.seq:
+                insert_at = i + 1
+        self.ooo_queue.insert(insert_at, skb)
+        self.ooo_segs_in += 1
+        if len(self.ooo_queue) > self.ooo_peak:
+            self.ooo_peak = len(self.ooo_queue)
+        return True
+
     def reset_connection(self):
         """Return to CLOSED/LISTEN state after teardown (state only).
 
         The caller must have drained queues (our teardown protocol
         guarantees no in-flight residue).
         """
-        if self.send_queue or self.receive_queue or self.backlog:
+        if (self.send_queue or self.receive_queue or self.backlog
+                or self.ooo_queue):
             raise RuntimeError(
-                "%s: teardown with residue (send=%d recv=%d backlog=%d)"
+                "%s: teardown with residue (send=%d recv=%d backlog=%d "
+                "ooo=%d)"
                 % (self.name, len(self.send_queue),
-                   len(self.receive_queue), len(self.backlog))
+                   len(self.receive_queue), len(self.backlog),
+                   len(self.ooo_queue))
             )
         self.snd_una = 0
         self.snd_nxt = 0

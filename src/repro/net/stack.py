@@ -89,6 +89,8 @@ class NetworkStack:
         self.params = params or NetParams()
         self.mode = mode
         self.message_size = message_size
+        #: Set by FaultInjector.attach(); None in fault-free runs.
+        self.fault_injector = None
         self.specs = register_profiles(machine.functions)
         self.pools = SkbPools(machine, self.params)
         self.softnet = [

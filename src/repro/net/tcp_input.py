@@ -242,6 +242,41 @@ def tcp_rcv_established(ctx, stack, conn, skb):
         reads=[sock.tcb_read(640), skb.header_range(), skb.head_range(128)],
         writes=[sock.tcb_write(256)],
     )
+    # Fault-induced slow paths (duplicate, gap, overlap).  The loss-free
+    # fast path falls straight through all three tests without charging
+    # anything extra, keeping baseline runs byte-identical.
+    if skb.end_seq <= sock.rcv_nxt:
+        # Entirely duplicate data (a retransmission overlap): drop it
+        # and re-ACK our state so the sender converges.
+        sock.dup_segs_in += 1
+        stack.pools.free(
+            ctx, specs["kfree_skb"], base_instructions("kfree_skb"), skb
+        )
+        for op in tcp_send_ack(ctx, stack, conn):
+            yield op
+        return
+    if skb.seq > sock.rcv_nxt:
+        # A gap: hold the segment for reassembly and duplicate-ACK
+        # immediately so the sender's fast retransmit can trigger
+        # (tcp_data_queue's out-of-order arm).
+        ctx.charge(
+            specs["skb_queue_ops"],
+            base_instructions("skb_queue_ops"),
+            reads=[sock.buf_read(64)],
+            writes=[sock.buf_write(128), (skb.head.addr, 256)],
+        )
+        if not sock.enqueue_ooo(skb):
+            stack.pools.free(
+                ctx, specs["kfree_skb"], base_instructions("kfree_skb"), skb
+            )
+        for op in tcp_send_ack(ctx, stack, conn):
+            yield op
+        return
+    if skb.seq < sock.rcv_nxt:
+        # Partial overlap: trim the bytes we already have so the
+        # stream advances by exactly the new payload.
+        skb.len = skb.end_seq - sock.rcv_nxt
+        skb.seq = sock.rcv_nxt
     sock.receive_data(skb)
     ctx.charge(
         specs["skb_queue_ops"],
@@ -256,6 +291,34 @@ def tcp_rcv_established(ctx, stack, conn, skb):
         writes=[sock.buf_write(96)],
     )
     sock.segs_since_ack += 1
+    # The in-order arrival may have filled the gap in front of held
+    # out-of-order segments: splice them into the receive queue.
+    while sock.ooo_queue and sock.ooo_queue[0].seq <= sock.rcv_nxt:
+        held = sock.ooo_queue.pop(0)
+        if held.end_seq <= sock.rcv_nxt:
+            sock.dup_segs_in += 1
+            stack.pools.free(
+                ctx, specs["kfree_skb"], base_instructions("kfree_skb"),
+                held,
+            )
+            continue
+        if held.seq < sock.rcv_nxt:
+            held.len = held.end_seq - sock.rcv_nxt
+            held.seq = sock.rcv_nxt
+        sock.receive_data(held)
+        ctx.charge(
+            specs["skb_queue_ops"],
+            base_instructions("skb_queue_ops"),
+            reads=[sock.buf_read(64)],
+            writes=[sock.buf_write(128), (held.head.addr, 256)],
+        )
+        ctx.charge(
+            specs["sk_stream_mem"],
+            base_instructions("sk_stream_mem"),
+            reads=[sock.buf_read(96)],
+            writes=[sock.buf_write(96)],
+        )
+        sock.segs_since_ack += 1
     if sock.segs_since_ack >= params.ack_every:
         for op in tcp_send_ack(ctx, stack, conn):
             yield op

@@ -125,6 +125,24 @@ class SimulationEngine:
         self.now = 0
         self._stopped = False
         self.events_fired = 0
+        #: Events popped with a timestamp behind the clock.  Must stay
+        #: zero; checked by the post-run InvariantChecker.
+        self.monotonicity_violations = 0
+        self._trace = None
+
+    def enable_trace(self, depth=64):
+        """Keep a ring of the last ``depth`` fired events' (time, label)
+        for post-mortem diagnostics (cheap; label strings are shared)."""
+        import collections
+
+        if self._trace is None or self._trace.maxlen != depth:
+            self._trace = collections.deque(
+                self._trace or (), maxlen=depth
+            )
+
+    def trace_tail(self):
+        """The recorded (time, label) tail, oldest first."""
+        return list(self._trace) if self._trace is not None else []
 
     def schedule_at(self, time, callback, label=""):
         """Schedule ``callback`` at absolute cycle ``time`` (>= now)."""
@@ -169,7 +187,11 @@ class SimulationEngine:
                 self.now = until
                 break
             event = self.queue.pop()
+            if event.time < self.now:
+                self.monotonicity_violations += 1
             self.now = event.time
+            if self._trace is not None:
+                self._trace.append((event.time, event.label))
             event.callback()
             fired += 1
         self.events_fired += fired

@@ -223,6 +223,85 @@ class TestSweepRunner:
             assert _canon(serial[cell]) == _canon(parallel[cell])
 
 
+# ---------------------------------------------------------------------------
+# Fault tolerance: failing/hanging cells don't sink the sweep
+# ---------------------------------------------------------------------------
+
+
+def _bad():
+    """A cell that raises inside run_experiment (worker-safe)."""
+    return _tiny(message_size=2048,
+                 cost_overrides={"no_such_cost": 1})
+
+
+class TestSweepFaultTolerance:
+    def test_raising_cell_keeps_other_results(self, tmp_path):
+        runner = SweepRunner(
+            jobs=2, cache=ResultCache(directory=str(tmp_path)), retries=0
+        )
+        good, bad = _tiny(), _bad()
+        results = runner.run([good, bad])
+        assert results[0] is not None
+        assert results[1] is None
+        assert not runner.report.ok
+        (failure,) = runner.report.failures
+        assert failure.kind == "error"
+        assert "no_such_cost" in failure.error
+        assert failure.label in runner.report.summary()
+
+    def test_retries_then_quarantine_serial(self, tmp_path):
+        messages = []
+        runner = SweepRunner(
+            jobs=1, cache=ResultCache(directory=str(tmp_path)),
+            progress=messages.append, retries=2,
+        )
+        (result,) = runner.run([_bad()])
+        assert result is None
+        # one initial attempt + two same-seed retries
+        assert sum(1 for m in messages if m.startswith("running")) == 3
+        assert runner.report.failures[0].attempts == 3
+        # a later run on the same runner skips the quarantined cell
+        messages.clear()
+        (again,) = runner.run([_bad()])
+        assert again is None
+        assert not any(m.startswith("running") for m in messages)
+        assert any(m.startswith("quarantined") for m in messages)
+        assert not runner.report.ok
+
+    def test_watchdog_times_out_hung_cell(self, tmp_path):
+        hog = _tiny(message_size=128, n_connections=8, measure_ms=10_000)
+        runner = SweepRunner(
+            jobs=1, cache=ResultCache(directory=str(tmp_path)),
+            timeout=0.5, retries=0,
+        )
+        (result,) = runner.run([hog])
+        assert result is None
+        (failure,) = runner.report.failures
+        assert failure.kind == "timeout"
+
+    def test_parallel_watchdog_keeps_fast_cells(self, tmp_path):
+        hog = _tiny(message_size=128, n_connections=8, measure_ms=10_000)
+        fast = _tiny()
+        runner = SweepRunner(
+            jobs=2, cache=ResultCache(directory=str(tmp_path)),
+            timeout=1.0, retries=0,
+        )
+        results = runner.run([fast, hog])
+        assert results[0] is not None
+        assert results[1] is None
+        assert runner.report.failures[0].kind == "timeout"
+
+    def test_failed_cells_render_as_fail(self):
+        from repro.core.report import render_figure3, render_figure4
+
+        good = run_experiment(_tiny())
+        sweep = {(1024, "none"): good, (1024, "full"): None}
+        fig3 = render_figure3(sweep, (1024,), ("none", "full"), "tx")
+        fig4 = render_figure4(sweep, (1024,), ("none", "full"), "tx")
+        assert "FAIL" in fig3 and "--" in fig3
+        assert "FAIL" in fig4
+
+
 class TestDefaultJobs:
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "6")
@@ -232,6 +311,7 @@ class TestDefaultJobs:
         monkeypatch.setenv("REPRO_JOBS", "0")
         assert default_jobs() == 1
 
-    def test_garbage_env_falls_back(self, monkeypatch):
+    def test_garbage_env_warns_then_falls_back(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "lots")
-        assert default_jobs() == (os.cpu_count() or 1)
+        with pytest.warns(RuntimeWarning, match="REPRO_JOBS='lots'"):
+            assert default_jobs() == (os.cpu_count() or 1)
