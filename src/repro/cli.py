@@ -12,6 +12,10 @@ Examples::
     repro-affinity table1 --direction rx --size 65536
     repro-affinity table3 --direction tx --size 128
 
+    # Trace one run; export for Perfetto / flamegraph.pl.
+    repro-affinity trace --direction rx --affinity full \\
+        --chrome trace.json --flamegraph stacks.txt
+
 Results are cached in ``.repro-results/`` (override with
 ``REPRO_RESULTS_DIR``).
 """
@@ -33,7 +37,19 @@ from repro.core.report import (
     render_figure4,
     render_table1,
     render_table3,
+    render_trace_crosscheck,
 )
+from repro.trace import (
+    LatencyStats,
+    TraceOptions,
+    irq_to_copy_latencies,
+    irq_to_softirq_latencies,
+    render_timeline,
+    top_producers,
+    write_chrome_trace,
+    write_flamegraph,
+)
+from repro.trace.export import DEFAULT_HZ
 
 
 def _add_common(parser):
@@ -70,6 +86,7 @@ def _config(args, affinity):
         seed=args.seed,
         workload=getattr(args, "workload", "ttcp"),
         faults=getattr(args, "faults", None),
+        trace=getattr(args, "trace", None),
     )
 
 
@@ -154,6 +171,48 @@ def cmd_sweep(args):
     return 0
 
 
+def cmd_trace(args):
+    args.trace = TraceOptions(
+        capacity=args.capacity,
+        events=args.events if args.events else None,
+    )
+    # Traced runs bypass the cache (the live tracer is part of the
+    # result); no need to consult --no-cache.
+    result = run_experiment(
+        _config(args, args.affinity),
+        progress=lambda msg: print("[repro] %s" % msg, file=sys.stderr),
+    )
+    events = result.tracer.events()
+    trace = result["trace"]
+    print(result.summary())
+    print("trace: %d emitted, %d retained, %d dropped (capacity %d)"
+          % (trace["emitted"], trace["retained"], trace["dropped"],
+             trace["capacity"]))
+    print()
+    print(LatencyStats(irq_to_softirq_latencies(events)).render(
+        "IRQ -> NET_RX softirq", hz=DEFAULT_HZ))
+    print()
+    print(LatencyStats(irq_to_copy_latencies(events)).render(
+        "IRQ -> copy_to_user", hz=DEFAULT_HZ))
+    print()
+    print(render_timeline(events, args.cpus, hz=DEFAULT_HZ))
+    print()
+    print("top producers:")
+    for (name, cpu), count in top_producers(events, n=args.top):
+        where = "CPU%d" % cpu if cpu >= 0 else "global"
+        print("  %8d  %-16s %s" % (count, name, where))
+    print()
+    print(render_trace_crosscheck(result, _config(args, args.affinity).label()))
+    if args.chrome:
+        write_chrome_trace(events, args.chrome, hz=DEFAULT_HZ,
+                           extra_metadata=_config(args, args.affinity).to_dict())
+        print("wrote Chrome trace-event JSON to %s" % args.chrome)
+    if args.flamegraph:
+        write_flamegraph(events, args.flamegraph)
+        print("wrote collapsed stacks to %s" % args.flamegraph)
+    return 0
+
+
 def cmd_table1(args):
     none = _run(args, "none")
     full = _run(args, "full")
@@ -208,6 +267,30 @@ def build_parser():
         help="same-seed re-runs granted to a failing cell before it "
              "is quarantined (default 1)")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_trace = sub.add_parser(
+        "trace", help="trace one run; print analyses, export for "
+                      "Perfetto / flamegraphs"
+    )
+    _add_common(p_trace)
+    p_trace.add_argument("--affinity", choices=EXTENDED_MODES,
+                         default="full")
+    p_trace.add_argument(
+        "--capacity", type=int, default=TraceOptions.DEFAULT_CAPACITY,
+        help="trace ring size in events (drop-oldest past it)")
+    p_trace.add_argument(
+        "--events", nargs="+", default=None, metavar="NAME",
+        help="only record these tracepoints (default: all)")
+    p_trace.add_argument(
+        "--chrome", metavar="PATH", default=None,
+        help="write Chrome trace-event JSON (load in Perfetto or "
+             "chrome://tracing)")
+    p_trace.add_argument(
+        "--flamegraph", metavar="PATH", default=None,
+        help="write collapsed stacks for flamegraph.pl")
+    p_trace.add_argument("--top", type=int, default=10,
+                         help="rows in the top-producers table")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1 for a corner")
     _add_common(p_t1)

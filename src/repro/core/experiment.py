@@ -29,6 +29,7 @@ from repro.faults.plan import FaultInjector, FaultPlan
 from repro.net.params import NetParams
 from repro.net.stack import NetworkStack
 from repro.core.modes import apply_affinity
+from repro.trace import TraceOptions, Tracer, summarize
 
 MS = 2_000_000  # cycles per millisecond at 2 GHz
 
@@ -52,6 +53,7 @@ class ExperimentConfig:
         cost_overrides=None,
         workload="ttcp",
         faults=None,
+        trace=None,
     ):
         """``cost_overrides`` maps CostModel attribute names to values
         (e.g. ``{"c2c_transfer": 600}``), for sensitivity studies.
@@ -64,7 +66,14 @@ class ExperimentConfig:
         :class:`~repro.faults.plan.FaultPlan`, a dict of its fields, or
         a spec string (``"loss=0.01,reorder=0.005"``).  ``None`` (the
         default) keeps the run fault-free *and* keeps the cache key
-        identical to configs from before fault support existed."""
+        identical to configs from before fault support existed.
+
+        ``trace`` optionally attaches a tracer to the measurement
+        window: a :class:`~repro.trace.TraceOptions`, ``True`` (default
+        options), an int (ring capacity), or a dict of TraceOptions
+        fields.  ``None`` (the default) keeps tracing off with zero
+        overhead -- and, like ``faults``, keeps pre-existing cache
+        keys unchanged."""
         if direction not in ("tx", "rx"):
             raise ValueError("direction must be 'tx' or 'rx'")
         if workload not in ("ttcp", "iscsi", "web"):
@@ -80,6 +89,7 @@ class ExperimentConfig:
         self.seed = seed
         self.cost_overrides = dict(cost_overrides or {})
         self.faults = FaultPlan.coerce(faults)
+        self.trace = TraceOptions.coerce(trace)
 
     def to_dict(self):
         d = dict(
@@ -99,6 +109,10 @@ class ExperimentConfig:
         # unchanged.
         if self.faults is not None:
             d["faults"] = self.faults.to_dict()
+        # Same omit-when-None rule as ``faults``; traced runs also
+        # bypass the result cache entirely (see run_experiment).
+        if self.trace is not None:
+            d["trace"] = self.trace.to_dict()
         return d
 
     def key(self):
@@ -341,8 +355,17 @@ class ExperimentResult:
 
 
 def run_experiment(config, cache=None, progress=None):
-    """Run (or fetch from cache) one experiment."""
-    if cache is not None:
+    """Run (or fetch from cache) one experiment.
+
+    Traced runs (``config.trace`` set) bypass the cache on both sides:
+    the live :class:`~repro.trace.Tracer` (exposed as
+    ``result.tracer``) is not serializable, and a cache hit would hand
+    back a result with no trace attached.  The summarized trace
+    statistics still travel in the plain-data payload under
+    ``result["trace"]``.
+    """
+    traced = config.trace is not None
+    if cache is not None and not traced:
         hit = cache.get(config)
         if hit is not None:
             return hit
@@ -380,17 +403,35 @@ def run_experiment(config, cache=None, progress=None):
     else:
         workload = WebServerWorkload(machine, stack, config.message_size)
     tasks = workload.spawn_all()
-    apply_affinity(machine, stack, tasks, config.affinity)
+    applied = apply_affinity(machine, stack, tasks, config.affinity)
+    tracer = None
+    if traced:
+        tracer = machine.attach_tracer(
+            Tracer(
+                machine.engine,
+                capacity=config.trace.capacity,
+                events=config.trace.events,
+            )
+        )
     machine.start()
     stack.start_peers()
     machine.run_for(config.warmup_ms * MS)
     machine.reset_measurement()
     machine.run_for(config.measure_ms * MS)
+    # Dynamic-placement controllers (IRQ rotation, RSS steering) re-arm
+    # themselves; cancel the pending event so nothing fires past the
+    # measurement window.
+    controller = applied.get("controller")
+    if controller is not None:
+        controller.stop()
     result = ExperimentResult.from_machine(config, machine, stack, workload)
+    if tracer is not None:
+        result._data["trace"] = summarize(tracer, machine.n_cpus)
+        result.tracer = tracer
     # Invariants hold for every run, faulted or not; checking before
     # the cache write keeps corrupt results out of the artefact store.
     InvariantChecker(machine, stack).check()
-    if cache is not None:
+    if cache is not None and not traced:
         cache.put(config, result)
     return result
 

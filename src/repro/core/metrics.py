@@ -68,47 +68,82 @@ def run_size_sweep(
     return dict(zip(cells, flat))
 
 
-def bandwidth_series(sweep, sizes, modes=AFFINITY_MODES):
-    """Figure 3 lines: ``{mode: [Mb/s per size]}``."""
+def _cell_attr(sweep, size, mode, attr):
+    """One sweep cell's attribute, or ``None`` for a failed cell.
+
+    :class:`~repro.core.parallel.SweepRunner` maps cells that failed
+    despite retries to ``None``; the report renderers show those as
+    FAIL / ``--``, and the series helpers must propagate the hole the
+    same way instead of raising ``AttributeError``.
+    """
+    result = sweep.get((size, mode))
+    if result is None:
+        return None
+    return getattr(result, attr)
+
+
+def _series(sweep, sizes, modes, attr):
     return {
-        mode: [sweep[(size, mode)].throughput_mbps for size in sizes]
+        mode: [_cell_attr(sweep, size, mode, attr) for size in sizes]
         for mode in modes
     }
+
+
+def bandwidth_series(sweep, sizes, modes=AFFINITY_MODES):
+    """Figure 3 lines: ``{mode: [Mb/s per size]}``.
+
+    Failed (``None``) cells yield ``None`` entries."""
+    return _series(sweep, sizes, modes, "throughput_mbps")
 
 
 def utilization_series(sweep, sizes, modes=AFFINITY_MODES):
-    """Figure 3 bars: ``{mode: [mean CPU utilization per size]}``."""
-    return {
-        mode: [sweep[(size, mode)].utilization for size in sizes]
-        for mode in modes
-    }
+    """Figure 3 bars: ``{mode: [mean CPU utilization per size]}``.
+
+    Failed (``None``) cells yield ``None`` entries."""
+    return _series(sweep, sizes, modes, "utilization")
 
 
 def cost_series(sweep, sizes, modes=AFFINITY_MODES):
-    """Figure 4: ``{mode: [GHz/Gbps per size]}``."""
-    return {
-        mode: [sweep[(size, mode)].cost_ghz_per_gbps for size in sizes]
-        for mode in modes
-    }
+    """Figure 4: ``{mode: [GHz/Gbps per size]}``.
+
+    Failed (``None``) cells yield ``None`` entries."""
+    return _series(sweep, sizes, modes, "cost_ghz_per_gbps")
 
 
 def throughput_gain(sweep, size, mode, baseline="none"):
-    """Fractional throughput gain of ``mode`` over ``baseline``."""
-    base = sweep[(size, baseline)].throughput_gbps
+    """Fractional throughput gain of ``mode`` over ``baseline``.
+
+    ``None`` when either cell failed (the comparison is undefined)."""
+    base = _cell_attr(sweep, size, baseline, "throughput_gbps")
+    point = _cell_attr(sweep, size, mode, "throughput_gbps")
+    if base is None or point is None:
+        return None
     if base <= 0:
         return 0.0
-    return sweep[(size, mode)].throughput_gbps / base - 1.0
+    return point / base - 1.0
 
 
 def cost_reduction(sweep, size, mode, baseline="none"):
-    """Fractional cost (GHz/Gbps) reduction of ``mode`` vs ``baseline``."""
-    base = sweep[(size, baseline)].cost_ghz_per_gbps
+    """Fractional cost (GHz/Gbps) reduction of ``mode`` vs ``baseline``.
+
+    ``None`` when either cell failed (the comparison is undefined)."""
+    base = _cell_attr(sweep, size, baseline, "cost_ghz_per_gbps")
+    point = _cell_attr(sweep, size, mode, "cost_ghz_per_gbps")
+    if base is None or point is None:
+        return None
     if base <= 0:
         return 0.0
-    return 1.0 - sweep[(size, mode)].cost_ghz_per_gbps / base
+    return 1.0 - point / base
 
 
 def best_gain(sweep, sizes, mode, baseline="none"):
     """The largest throughput gain of ``mode`` across sizes (the
-    paper's "up to 25% / up to 29%" headline numbers)."""
-    return max(throughput_gain(sweep, size, mode, baseline) for size in sizes)
+    paper's "up to 25% / up to 29%" headline numbers).
+
+    Sizes whose gain is undefined (failed cell on either side) are
+    skipped; ``None`` if every size is undefined."""
+    gains = [throughput_gain(sweep, size, mode, baseline) for size in sizes]
+    gains = [g for g in gains if g is not None]
+    if not gains:
+        return None
+    return max(gains)

@@ -231,6 +231,68 @@ def render_function_profile(result, n=20, cpu_index=None, event=None):
     return table.render()
 
 
+def render_trace_crosscheck(result, label):
+    """Trace-vs-``/proc`` cross-check for a traced run.
+
+    This is the trace-side retelling of the Table 4 story: under full
+    affinity the rescheduling IPIs (and the machine clears they induce)
+    move off CPU0 and follow the steered interrupts, and the per-CPU
+    tracepoint counts must agree exactly with the
+    :class:`~repro.prof.procstat.ProcInterrupts` ledger the kernel
+    layer keeps.  A mismatch means either dropped ring events (run
+    again with a larger ``capacity``) or a genuinely missing
+    tracepoint.
+
+    ``result`` must come from a traced run (``ExperimentConfig(trace=
+    ...)``); its plain-data payload carries the summarized trace under
+    ``result["trace"]``.
+    """
+    trace = result["trace"]
+    n_cpus = len(result.ipis)
+    table = TextTable(
+        ["counter"] + ["CPU%d" % i for i in range(n_cpus)] + ["match"],
+        title="Trace cross-check (%s): tracepoints vs /proc ledger" % label,
+    )
+    pairs = [
+        ("device IRQs", trace["irq_entries_per_cpu"], result.device_irqs),
+        ("resched IPIs", trace["ipis_per_cpu"], result.ipis),
+    ]
+    for name, traced, proc in pairs:
+        ok = list(traced) == list(proc)
+        table.add_row("%s [trace]" % name, *([str(c) for c in traced] + [""]))
+        table.add_row(
+            "%s [/proc]" % name,
+            *([str(c) for c in proc] + ["yes" if ok else "NO"])
+        )
+    lines = [table.render()]
+    mig_trace, mig_sched = trace["migrations"], result["migrations"]
+    lines.append(
+        "migrations: trace=%d scheduler=%d (%s)"
+        % (mig_trace, mig_sched,
+           "match" if mig_trace == mig_sched else "MISMATCH")
+    )
+    if trace["dropped"]:
+        lines.append(
+            "WARNING: ring dropped %d of %d events -- counts above are "
+            "incomplete; re-run with a larger trace capacity"
+            % (trace["dropped"], trace["emitted"])
+        )
+    ipis = result.ipis
+    total_ipis = sum(ipis)
+    if total_ipis:
+        lines.append(
+            "IPI placement: %d total, per-CPU %s -- IPI-induced machine "
+            "clears land on the receiving CPUs (Table 4's attribution)"
+            % (total_ipis, ipis)
+        )
+    else:
+        lines.append(
+            "IPI placement: none in the window -- no cross-CPU wakeups "
+            "to induce machine clears (the full-affinity end state)"
+        )
+    return "\n".join(lines)
+
+
 def render_run_summary(result):
     """One-line experiment summary."""
     return result.summary()

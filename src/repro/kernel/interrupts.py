@@ -120,11 +120,14 @@ class IrqRotator:
         self.per_line = per_line
         self.rotations = 0
         self._rng = machine.rng.stream("irq-rotator")
-        machine.engine.schedule_after(
+        self._stopped = False
+        self._pending = machine.engine.schedule_after(
             interval_cycles, self._rotate, label="irq rotate"
         )
 
     def _rotate(self):
+        if self._stopped:
+            return
         machine = self.machine
         self.rotations += 1
         if self.per_line:
@@ -135,6 +138,20 @@ class IrqRotator:
             cpu = self._rng.randrange(machine.n_cpus)
             for vector in self.vectors:
                 machine.ioapic.get(vector).set_affinity(1 << cpu)
-        machine.engine.schedule_after(
+        self._pending = machine.engine.schedule_after(
             self.interval_cycles, self._rotate, label="irq rotate"
         )
+
+    def stop(self):
+        """Cancel the pending rotation and never re-arm (teardown).
+
+        Same discipline as :meth:`repro.net.rss.RssSteering.stop`: a
+        controller must not keep firing once the measurement window is
+        over.
+        """
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    detach = stop

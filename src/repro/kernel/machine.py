@@ -171,6 +171,10 @@ class Machine:
         self._resettables = []
         self.tick_cycles = hz // TICK_HZ
         self.ipis_sent = 0
+        #: Optional :class:`repro.trace.Tracer`.  ``None`` (the
+        #: default) keeps every tracepoint site down to one attribute
+        #: load and a comparison -- untraced runs are unperturbed.
+        self.tracer = None
         self._register_internal_functions()
         for i, cpu in enumerate(self.cpus):
             state = self.states[i]
@@ -221,6 +225,17 @@ class Machine:
     def add_resettable(self, obj):
         """Register an object whose ``reset_stats()`` runs at window reset."""
         self._resettables.append(obj)
+
+    def attach_tracer(self, tracer):
+        """Point all tracepoint sites at ``tracer`` (see repro.trace)."""
+        self.tracer = tracer
+        self.scheduler.tracer = tracer
+        return tracer
+
+    def detach_tracer(self):
+        """Stop tracing; sites fall back to the no-op fast path."""
+        self.tracer = None
+        self.scheduler.tracer = None
 
     def spawn(self, task, cpu_index=0):
         """Create a runnable task; it starts at the next dispatch."""
@@ -298,6 +313,8 @@ class Machine:
             obj.reset_stats()
         self.softirqs.raised = [0] * len(self.softirqs.raised)
         self.softirqs.executed = [0] * len(self.softirqs.executed)
+        if self.tracer is not None:
+            self.tracer.clear()
         self._window_start = self.engine.now
 
     @property
@@ -382,6 +399,9 @@ class Machine:
             )
         self._charge_spin_wait(wcpu, lock, max(0, release_time - wcpu.now))
         lock.grab(cpu_index, wcpu.now, label="post-spin")
+        if self.tracer is not None:
+            self.tracer.emit("lock_acquire", cpu=cpu_index, ts=wcpu.now,
+                             lock=lock.name)
         ctx = (
             wstate.softirq_ctx if wstate.spin_is_softirq
             else wstate.current._ctx
@@ -393,6 +413,9 @@ class Machine:
     def raise_softirq(self, cpu_index, index):
         """Mark softirq ``index`` pending on ``cpu_index``."""
         self.softirqs.raised[index] += 1
+        if self.tracer is not None:
+            self.tracer.emit("softirq_raise", cpu=cpu_index,
+                             softirq=SOFTIRQ_NAMES[index])
         self.states[cpu_index].softirq_pending |= 1 << index
         if self.states[cpu_index].halted:
             self.states[cpu_index].halted = False
@@ -424,6 +447,8 @@ class Machine:
         cpu_index = self.ioapic.route(vector)
         line = self.ioapic.get(vector)
         line.raised += 1
+        if self.tracer is not None:
+            self.tracer.emit("irq_raise", cpu=cpu_index, vector=vector)
         state = self.states[cpu_index]
         state.pending_irqs.append(vector)
         if state.halted:
@@ -450,14 +475,23 @@ class Machine:
             cpu.machine_clear(line.entry_spec, counted - counted // 2,
                               flush=False)
             cpu.last_spec = line.entry_spec
+            if self.tracer is not None:
+                self.tracer.emit("irq_entry", cpu=cpu.index, ts=cpu.now,
+                                 vector=vector)
             state.in_hardirq = True
             try:
                 line.handler(state.hardirq_ctx)
             finally:
                 state.in_hardirq = False
+            if self.tracer is not None:
+                self.tracer.emit("irq_exit", cpu=cpu.index, ts=cpu.now,
+                                 vector=vector)
 
     def _send_ipi(self, target_index, at):
         self.ipis_sent += 1
+        if self.tracer is not None:
+            self.tracer.emit("ipi_send", cpu=target_index,
+                             target=target_index)
         self.engine.schedule_at(
             max(at + IPI_LATENCY, self.engine.now),
             lambda: self._ipi_arrive(target_index),
@@ -472,6 +506,8 @@ class Machine:
             state.halted = False
             if cpu.now < self.engine.now:
                 cpu.advance_idle(self.engine.now - cpu.now)
+        if self.tracer is not None:
+            self.tracer.emit("ipi_recv", cpu=target_index, ts=cpu.now)
         attr = cpu.skid_spec or cpu.last_spec or self.spec_idle
         cpu.machine_clear(attr, self.costs.clears_counted_per_ipi)
         cpu.charge(self.spec_ipi, 60, reads=[(self._rq_objs[target_index].addr, 64)])
@@ -614,10 +650,19 @@ class Machine:
                         # SpinLock.last_release).
                         lock.contended_acquisitions += 1
                         self._charge_spin_wait(cpu, lock, wait)
+                        if self.tracer is not None:
+                            self.tracer.emit("lock_contend", cpu=cpu.index,
+                                             ts=cpu.now, lock=lock.name)
                     lock.grab(cpu.index, cpu.now, label=ctx.kind)
                     ctx.locks_held += 1
+                    if self.tracer is not None:
+                        self.tracer.emit("lock_acquire", cpu=cpu.index,
+                                         ts=cpu.now, lock=lock.name)
                     continue
                 lock.contended_acquisitions += 1
+                if self.tracer is not None:
+                    self.tracer.emit("lock_contend", cpu=cpu.index,
+                                     ts=cpu.now, lock=lock.name)
                 lock.waiters.append(cpu.index)
                 state.spinning_lock = lock
                 state.spin_start = cpu.now
@@ -660,8 +705,16 @@ class Machine:
             for index in pending_order(mask):
                 self.softirqs.executed[index] += 1
                 action = self.softirqs.action(index)
+                if self.tracer is not None:
+                    self.tracer.emit("softirq_entry", cpu=ctx.cpu_index,
+                                     ts=ctx.now,
+                                     softirq=SOFTIRQ_NAMES[index])
                 for op in action(ctx):
                     yield op
+                if self.tracer is not None:
+                    self.tracer.emit("softirq_exit", cpu=ctx.cpu_index,
+                                     ts=ctx.now,
+                                     softirq=SOFTIRQ_NAMES[index])
             restarts += 1
         if state.softirq_pending:
             # Excessive load: defer to the ksoftirqd discipline -- the
@@ -700,6 +753,12 @@ class Machine:
             # Address-space switch: user translations die, kernel
             # (global-bit) translations survive.
             cpu.dtlb.flush_below(KERNEL_TEXT_BASE // PAGE_SIZE)
+        if self.tracer is not None and switching:
+            self.tracer.emit(
+                "sched_switch", cpu=cpu.index, ts=cpu.now,
+                prev=state.last_task.name if state.last_task else "idle",
+                next=task.name,
+            )
         task.state = TASK_RUNNING
         task.prev_cpu = cpu.index
         task.last_dispatch = cpu.now

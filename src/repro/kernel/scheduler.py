@@ -76,6 +76,11 @@ class Scheduler:
         #: what lets interrupt affinity pull processes toward their
         #: NIC's CPU while a saturated default-routing CPU0 repels them.
         self.cpu_load = [0.0] * n_cpus
+        #: Optional :class:`repro.trace.Tracer`, wired by
+        #: ``Machine.attach_tracer``; every ``task.migrations``
+        #: increment emits a ``sched_migrate`` tracepoint so trace
+        #: migration counts match the experiment counter exactly.
+        self.tracer = None
         # Statistics.
         self.wakeups = 0
         self.remote_wakeups = 0
@@ -142,6 +147,7 @@ class Scheduler:
         migrated = target != task.prev_cpu
         if migrated:
             task.migrations += 1
+            self._trace_migrate(task, task.prev_cpu, target)
         self.enqueue(task, target)
         self.wakeups += 1
         if target != waker_cpu:
@@ -185,6 +191,7 @@ class Scheduler:
                 del queue[i]
                 task.migrations += 1
                 self.steals += 1
+                self._trace_migrate(task, busiest, cpu_index)
                 return task
         return None
 
@@ -213,6 +220,7 @@ class Scheduler:
             if candidate is None:
                 break
             candidate.migrations += 1
+            self._trace_migrate(candidate, busiest, cpu_index)
             self.enqueue(candidate, cpu_index)
             self.balance_moves += 1
             moved += 1
@@ -232,6 +240,12 @@ class Scheduler:
                 allowed = [c for c in range(self.n_cpus) if task.allowed_on(c)]
                 target = min(allowed, key=self.queue_len)
                 task.migrations += 1
+                self._trace_migrate(task, cpu_index, target)
                 self.enqueue(task, target)
                 return target
         return None
+
+    def _trace_migrate(self, task, src, dst):
+        if self.tracer is not None:
+            self.tracer.emit("sched_migrate", cpu=dst, task=task.name,
+                             src=src, dst=dst)

@@ -26,11 +26,14 @@ class RssSteering:
         self.interval_cycles = interval_cycles
         self.updates = 0
         self.retargets = 0
-        machine.engine.schedule_after(
+        self._stopped = False
+        self._pending = machine.engine.schedule_after(
             interval_cycles, self._steer, label="rss steer"
         )
 
     def _steer(self):
+        if self._stopped:
+            return
         machine = self.machine
         self.updates += 1
         for conn, task in zip(self.stack.connections, self.tasks):
@@ -39,9 +42,27 @@ class RssSteering:
             if line.smp_affinity != target_mask:
                 line.set_affinity(target_mask)
                 self.retargets += 1
-        machine.engine.schedule_after(
+        self._pending = machine.engine.schedule_after(
             self.interval_cycles, self._steer, label="rss steer"
         )
+
+    def stop(self):
+        """Cancel the pending steer and never re-arm.
+
+        Without this the controller re-schedules itself forever: it
+        keeps firing after the measurement window closes, perturbing
+        any timing measured afterwards and keeping the event queue
+        from draining.  Experiment teardown calls it as soon as the
+        window ends.
+        """
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    #: Alias; reads better when the caller thinks of the controller as
+    #: attached to the stack.
+    detach = stop
 
     def alignment(self):
         """Fraction of flows whose IRQ currently matches its process."""

@@ -182,6 +182,9 @@ class SkbPools:
             reads=[(head.addr, 64)],
             writes=[(head.addr, SKB_HEAD_SIZE), (data.addr, 64)],
         )
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.emit("skb_alloc", cpu=cpu_index, ts=ctx.now)
         return skb
 
     def free(self, ctx, spec, base_instructions, skb):
@@ -202,6 +205,9 @@ class SkbPools:
             self.clones_live -= 1
         else:
             self.data_cache.free(skb.data, cpu_index)
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.emit("skb_free", cpu=cpu_index, ts=ctx.now)
 
     def clone(self, ctx, spec, base_instructions, skb):
         """``skb_clone``: new metadata sharing the original's data."""
@@ -219,6 +225,9 @@ class SkbPools:
             reads=[(skb.head.addr, SKB_HEAD_SIZE)],
             writes=[(head.addr, SKB_HEAD_SIZE)],
         )
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.emit("skb_alloc", cpu=ctx.cpu_index, ts=ctx.now)
         return clone
 
     def alloc_nocharge(self, cpu_index, conn=None):

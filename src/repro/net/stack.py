@@ -449,6 +449,10 @@ class NetworkStack:
                 conn.user_buffer.field(copied % conn.user_buffer.size, chunk),
                 chunk,
             )
+            tracer = self.machine.tracer
+            if tracer is not None:
+                tracer.emit("copy_to_user", cpu=ctx.cpu_index, ts=ctx.now,
+                            vector=conn.nic.vector, bytes=chunk)
             skb.consumed += chunk
             copied += chunk
             if skb.remaining == 0:

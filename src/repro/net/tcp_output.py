@@ -220,6 +220,10 @@ def tcp_retransmit_skb(ctx, stack, conn):
     )
     clone = stack.pools.clone(ctx, specs["alloc_skb"], 120, skb)
     conn.retransmitted_segments += 1
+    tracer = stack.machine.tracer
+    if tracer is not None:
+        tracer.emit("tcp_retransmit", cpu=ctx.cpu_index, ts=ctx.now,
+                    conn=conn.conn_id)
     for op in ip_queue_xmit(ctx, stack, conn, clone, packet):
         yield op
 

@@ -50,11 +50,20 @@ class ProcInterrupts:
         return self.ipi_counts[cpu_index]
 
     def reset(self):
-        """Zero all counters (start of the measurement window)."""
+        """Zero all counters (start of the measurement window).
+
+        Zeroing happens **in place**: rebinding ``self.ipi_counts`` to
+        a fresh list would silently orphan any reference handed out
+        before the window (a dashboard or analysis holding the row
+        would keep reading pre-reset numbers forever), so the IPI row
+        is cleared the same way as the per-IRQ rows.
+        """
         for row in self._counts.values():
             for i in range(self.n_cpus):
                 row[i] = 0
-        self.ipi_counts = [0] * self.n_cpus
+        ipi = self.ipi_counts
+        for i in range(self.n_cpus):
+            ipi[i] = 0
 
     def render(self):
         """Format the classic ``/proc/interrupts`` table."""

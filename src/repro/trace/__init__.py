@@ -1,0 +1,54 @@
+"""Trace-event observability: tracepoints, analyses, exporters.
+
+Attach a :class:`Tracer` to a machine (``machine.attach_tracer``) or
+run a traced experiment (``ExperimentConfig(trace=True)``); analyse
+with :mod:`repro.trace.analyses`; export with
+:mod:`repro.trace.export` (Chrome trace-event JSON for Perfetto, or
+collapsed stacks for flamegraphs).
+"""
+
+from repro.trace.tracer import (
+    EVENT_NAMES,
+    TraceEvent,
+    TraceOptions,
+    Tracer,
+)
+from repro.trace.analyses import (
+    LatencyStats,
+    counts_by_name,
+    irq_to_copy_latencies,
+    irq_to_softirq_latencies,
+    migration_count,
+    per_cpu_counts,
+    per_cpu_timeline,
+    render_timeline,
+    summarize,
+    top_producers,
+)
+from repro.trace.export import (
+    to_chrome_trace,
+    to_flamegraph,
+    write_chrome_trace,
+    write_flamegraph,
+)
+
+__all__ = [
+    "EVENT_NAMES",
+    "TraceEvent",
+    "TraceOptions",
+    "Tracer",
+    "LatencyStats",
+    "counts_by_name",
+    "irq_to_copy_latencies",
+    "irq_to_softirq_latencies",
+    "migration_count",
+    "per_cpu_counts",
+    "per_cpu_timeline",
+    "render_timeline",
+    "summarize",
+    "top_producers",
+    "to_chrome_trace",
+    "to_flamegraph",
+    "write_chrome_trace",
+    "write_flamegraph",
+]

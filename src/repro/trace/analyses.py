@@ -1,0 +1,208 @@
+"""lttng-analyses-style post-processing of a trace.
+
+Each function takes the (sorted) event list a :class:`~repro.trace.
+tracer.Tracer` retained and reduces it to one of the views the paper's
+measurement methodology implies but its tooling could not produce:
+
+* **IRQ service latency** -- from ``irq_entry`` to the next
+  ``softirq_entry`` on the same CPU: how long softirq processing
+  lagged the top half (the ``irqlog``/``irq_stats`` view).
+* **IRQ-to-copy latency** -- from ``irq_entry`` to the first
+  ``copy_to_user`` of the same NIC's flow: the full in-kernel receive
+  path the paper's per-bin profile integrates over.
+* **per-CPU activity timelines** -- event density per CPU per time
+  bucket, the coarse "who was doing anything, when" picture.
+* **top-N producers** and plain per-mode counts (migrations, IPIs).
+"""
+
+import collections
+
+
+class LatencyStats:
+    """Order statistics plus a log2 histogram over cycle latencies."""
+
+    def __init__(self, samples):
+        self.samples = sorted(samples)
+
+    @property
+    def count(self):
+        return len(self.samples)
+
+    @property
+    def min(self):
+        return self.samples[0] if self.samples else 0
+
+    @property
+    def max(self):
+        return self.samples[-1] if self.samples else 0
+
+    @property
+    def mean(self):
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / float(len(self.samples))
+
+    def percentile(self, p):
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not self.samples:
+            return 0
+        rank = max(0, min(len(self.samples) - 1,
+                          int(round(p / 100.0 * (len(self.samples) - 1)))))
+        return self.samples[rank]
+
+    def histogram(self):
+        """``[(bucket_floor_cycles, count)]`` with power-of-two buckets."""
+        buckets = collections.Counter()
+        for sample in self.samples:
+            floor = 1
+            while floor * 2 <= sample:
+                floor *= 2
+            buckets[floor if sample > 0 else 0] += 1
+        return sorted(buckets.items())
+
+    def to_dict(self):
+        return dict(
+            count=self.count,
+            min=self.min,
+            mean=self.mean,
+            p50=self.percentile(50),
+            p90=self.percentile(90),
+            p99=self.percentile(99),
+            max=self.max,
+        )
+
+    def render(self, title, hz=2_000_000_000):
+        """Monospace histogram block, latencies shown in microseconds."""
+        per_us = hz / 1e6
+        lines = ["%s: n=%d min=%.1fus p50=%.1fus p90=%.1fus p99=%.1fus "
+                 "max=%.1fus"
+                 % (title, self.count, self.min / per_us,
+                    self.percentile(50) / per_us,
+                    self.percentile(90) / per_us,
+                    self.percentile(99) / per_us, self.max / per_us)]
+        hist = self.histogram()
+        peak = max((count for _, count in hist), default=1)
+        for floor, count in hist:
+            bar = "#" * max(1, int(round(40.0 * count / peak)))
+            lines.append("  %10.1fus | %-40s %d"
+                         % (floor / per_us, bar, count))
+        return "\n".join(lines)
+
+
+def irq_to_softirq_latencies(events, softirq="NET_RX"):
+    """Per-IRQ latency from ``irq_entry`` to the next ``softirq_entry``
+    of ``softirq`` on the same CPU.  Every pending top half is matched
+    to the softirq pass that serviced it (coalesced IRQs share one)."""
+    pending = collections.defaultdict(list)
+    samples = []
+    for event in events:
+        if event.name == "irq_entry":
+            pending[event.cpu].append(event.ts)
+        elif (event.name == "softirq_entry"
+              and event.args.get("softirq") == softirq):
+            for ts in pending.pop(event.cpu, ()):
+                samples.append(max(0, event.ts - ts))
+    return samples
+
+
+def irq_to_copy_latencies(events):
+    """Latency from a NIC's ``irq_entry`` to the first ``copy_to_user``
+    of that NIC's flow -- the receive path end to end.  One sample per
+    serviced interrupt (later copies from the same batch are the
+    application draining the queue, not IRQ latency)."""
+    armed = {}
+    samples = []
+    for event in events:
+        if event.name == "irq_entry":
+            armed[event.args.get("vector")] = event.ts
+        elif event.name == "copy_to_user":
+            ts = armed.pop(event.args.get("vector"), None)
+            if ts is not None:
+                samples.append(max(0, event.ts - ts))
+    return samples
+
+
+def per_cpu_timeline(events, n_cpus, buckets=60):
+    """Event density per CPU over ``buckets`` equal time slices.
+
+    Returns ``(t0, bucket_cycles, [[count per bucket] per cpu])``.
+    """
+    matrix = [[0] * buckets for _ in range(n_cpus)]
+    if not events:
+        return 0, 1, matrix
+    t0 = min(e.ts for e in events)
+    t1 = max(e.ts for e in events)
+    width = max(1, -(-(t1 - t0 + 1) // buckets))
+    for event in events:
+        if 0 <= event.cpu < n_cpus:
+            matrix[event.cpu][min(buckets - 1, (event.ts - t0) // width)] += 1
+    return t0, width, matrix
+
+
+def render_timeline(events, n_cpus, buckets=60, hz=2_000_000_000):
+    """The timeline as per-CPU sparklines (dense buckets are darker)."""
+    t0, width, matrix = per_cpu_timeline(events, n_cpus, buckets)
+    shades = " .:-=+*#"
+    peak = max((c for row in matrix for c in row), default=1) or 1
+    lines = ["per-CPU activity (bucket = %.1fus)" % (width / (hz / 1e6))]
+    for cpu, row in enumerate(matrix):
+        cells = "".join(
+            shades[min(len(shades) - 1,
+                       (count * (len(shades) - 1) + peak - 1) // peak)]
+            for count in row
+        )
+        lines.append("  CPU%d |%s| %d events" % (cpu, cells, sum(row)))
+    return "\n".join(lines)
+
+
+def counts_by_name(events):
+    """``{event_name: count}`` over the whole trace."""
+    counts = collections.Counter()
+    for event in events:
+        counts[event.name] += 1
+    return dict(counts)
+
+
+def top_producers(events, n=10):
+    """The ``n`` busiest (event name, cpu) sites, descending."""
+    counts = collections.Counter()
+    for event in events:
+        counts[(event.name, event.cpu)] += 1
+    return counts.most_common(n)
+
+
+def per_cpu_counts(events, name, n_cpus):
+    """Occurrences of ``name`` per CPU (e.g. ``ipi_recv``)."""
+    counts = [0] * n_cpus
+    for event in events:
+        if event.name == name and 0 <= event.cpu < n_cpus:
+            counts[event.cpu] += 1
+    return counts
+
+
+def migration_count(events):
+    """Total ``sched_migrate`` events in the trace."""
+    return sum(1 for e in events if e.name == "sched_migrate")
+
+
+def summarize(tracer, n_cpus):
+    """The JSON-able digest stored into a traced ``ExperimentResult``.
+
+    Keeps the cross-checkable totals (IPIs and device IRQs per CPU,
+    migrations) and the latency order statistics; the raw events stay
+    on the live :class:`Tracer` for the exporters.
+    """
+    events = tracer.events()
+    return dict(
+        capacity=tracer.capacity,
+        emitted=tracer.emitted,
+        dropped=tracer.dropped,
+        retained=len(events),
+        counts=counts_by_name(events),
+        irq_entries_per_cpu=per_cpu_counts(events, "irq_entry", n_cpus),
+        ipis_per_cpu=per_cpu_counts(events, "ipi_recv", n_cpus),
+        migrations=migration_count(events),
+        irq_to_softirq=LatencyStats(
+            irq_to_softirq_latencies(events)).to_dict(),
+        irq_to_copy=LatencyStats(irq_to_copy_latencies(events)).to_dict(),
+    )

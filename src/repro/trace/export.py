@@ -1,0 +1,130 @@
+"""Trace exporters: Chrome trace-event JSON and collapsed stacks.
+
+``to_chrome_trace`` emits the Trace Event Format (the JSON Perfetto
+and ``chrome://tracing`` load): one ``pid`` for the machine, one
+``tid`` per CPU, ``B``/``E`` duration pairs for ``*_entry``/``*_exit``
+tracepoints and ``i`` instants for everything else, timestamps in
+microseconds of simulated time.
+
+``to_flamegraph`` folds the same spans into ``stack;frames value``
+lines (Brendan Gregg's collapsed format): per CPU, time attributed to
+hard-IRQ and softirq frames, ready for ``flamegraph.pl`` or any
+speedscope-style viewer.
+"""
+
+import json
+
+#: Simulated cycles per second (the P4 Xeon's 2 GHz); exporters scale
+#: cycle timestamps to microseconds with it.
+DEFAULT_HZ = 2_000_000_000
+
+
+def _span_name(event):
+    """Human-readable frame name for an entry/exit pair."""
+    if event.name.startswith("irq_"):
+        return "IRQ0x%x" % event.args.get("vector", 0)
+    if event.name.startswith("softirq_"):
+        return "softirq:%s" % event.args.get("softirq", "?")
+    return event.name
+
+
+def to_chrome_trace(events, hz=DEFAULT_HZ, extra_metadata=None):
+    """Build the Trace Event Format dict for ``events``.
+
+    Returns a JSON-serializable dict; write it with
+    :func:`write_chrome_trace` or ``json.dump`` directly.
+    """
+    scale = 1e6 / hz  # cycles -> microseconds
+    trace_events = []
+    cpus = set()
+    for event in events:
+        cpus.add(event.cpu)
+        record = {
+            "pid": 0,
+            "tid": event.cpu if event.cpu >= 0 else 9999,
+            "ts": round(event.ts * scale, 3),
+            "cat": event.name.split("_")[0],
+        }
+        if event.name.endswith("_entry"):
+            record["ph"] = "B"
+            record["name"] = _span_name(event)
+        elif event.name.endswith("_exit"):
+            record["ph"] = "E"
+            record["name"] = _span_name(event)
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+            record["name"] = event.name
+        if event.args:
+            record["args"] = dict(event.args)
+        trace_events.append(record)
+    metadata = [
+        {"ph": "M", "pid": 0, "name": "process_name",
+         "args": {"name": "repro-sim"}},
+    ]
+    for cpu in sorted(c for c in cpus if c >= 0):
+        metadata.append({
+            "ph": "M", "pid": 0, "tid": cpu, "name": "thread_name",
+            "args": {"name": "CPU%d" % cpu},
+        })
+    if extra_metadata:
+        metadata.append({"ph": "M", "pid": 0, "name": "trace_metadata",
+                         "args": dict(extra_metadata)})
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(events, path, hz=DEFAULT_HZ, extra_metadata=None):
+    """Serialize :func:`to_chrome_trace` to ``path``."""
+    doc = to_chrome_trace(events, hz=hz, extra_metadata=extra_metadata)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return doc
+
+
+def collapse_stacks(events):
+    """Fold entry/exit spans into ``{stack: cycles}``.
+
+    Stacks are ``CPUn;hardirq;IRQ0xNN`` and ``CPUn;softirq;NAME``;
+    values are summed simulated cycles.  Unbalanced entries (span still
+    open when the ring wrapped or the run ended) are dropped -- a
+    flamegraph of partial spans would lie about proportions.
+    """
+    open_spans = {}
+    folded = {}
+    for event in events:
+        if event.name.endswith("_entry"):
+            kind = event.name[:-len("_entry")]
+            open_spans[(event.cpu, kind)] = event
+        elif event.name.endswith("_exit"):
+            kind = event.name[:-len("_exit")]
+            begin = open_spans.pop((event.cpu, kind), None)
+            if begin is None:
+                continue
+            frame = _span_name(begin)
+            group = "hardirq" if kind == "irq" else kind
+            stack = "CPU%d;%s;%s" % (event.cpu, group, frame)
+            folded[stack] = folded.get(stack, 0) + max(
+                0, event.ts - begin.ts
+            )
+    return folded
+
+
+def to_flamegraph(events):
+    """The collapsed-stack text (one ``stack value`` line per stack)."""
+    folded = collapse_stacks(events)
+    return "\n".join(
+        "%s %d" % (stack, value)
+        for stack, value in sorted(folded.items())
+        if value > 0
+    )
+
+
+def write_flamegraph(events, path):
+    """Write :func:`to_flamegraph` output to ``path``."""
+    text = to_flamegraph(events)
+    with open(path, "w") as fh:
+        fh.write(text + "\n" if text else "")
+    return text

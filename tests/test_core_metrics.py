@@ -74,6 +74,58 @@ class TestSweep:
         assert "Figure 4" in fig4 and "GHz/Gbps" in fig4
 
 
+class TestNoneCells:
+    """Failed sweep cells (``None`` from a fault-tolerant runner) must
+    propagate as holes, not crash the series/gain helpers."""
+
+    @pytest.fixture()
+    def holey_sweep(self, mini_sweep):
+        sweep = dict(mini_sweep)
+        sweep[(32768, "full")] = None  # quarantined cell
+        return sweep
+
+    def test_series_propagate_none(self, holey_sweep):
+        for helper in (bandwidth_series, utilization_series, cost_series):
+            series = helper(holey_sweep, (1024, 32768),
+                            modes=("none", "full"))
+            assert series["full"][1] is None
+            assert series["full"][0] is not None
+            assert all(v is not None for v in series["none"])
+
+    def test_gain_none_when_cell_failed(self, holey_sweep):
+        assert throughput_gain(holey_sweep, 32768, "full") is None
+        assert cost_reduction(holey_sweep, 32768, "full") is None
+        # The healthy size still compares.
+        assert throughput_gain(holey_sweep, 1024, "full") is not None
+
+    def test_gain_none_when_baseline_failed(self, mini_sweep):
+        sweep = dict(mini_sweep)
+        sweep[(1024, "none")] = None
+        assert throughput_gain(sweep, 1024, "full") is None
+
+    def test_best_gain_skips_failed_sizes(self, holey_sweep):
+        gain = best_gain(holey_sweep, (1024, 32768), "full")
+        assert gain == throughput_gain(holey_sweep, 1024, "full")
+
+    def test_best_gain_none_when_all_failed(self, mini_sweep):
+        sweep = {key: None for key in mini_sweep}
+        assert best_gain(sweep, (1024, 32768), "full") is None
+
+    def test_missing_cell_treated_like_none(self, mini_sweep):
+        sweep = dict(mini_sweep)
+        del sweep[(32768, "full")]
+        series = bandwidth_series(sweep, (1024, 32768),
+                                  modes=("none", "full"))
+        assert series["full"][1] is None
+
+    def test_renderers_survive_holes(self, holey_sweep):
+        fig3 = render_figure3(holey_sweep, (1024, 32768),
+                              ("none", "full"), "tx")
+        fig4 = render_figure4(holey_sweep, (1024, 32768),
+                              ("none", "full"), "tx")
+        assert "FAIL" in fig3 and "FAIL" in fig4
+
+
 class TestDeterminism:
     def test_same_config_same_result(self):
         cfg = ExperimentConfig(

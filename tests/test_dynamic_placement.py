@@ -93,6 +93,40 @@ class TestRssSteering:
         # After convergence retargets stop accumulating every epoch.
         assert steering.retargets < steering.updates * len(tasks)
 
+    def test_stop_cancels_pending_event(self):
+        machine, stack, tasks = build()
+        steering = RssSteering(machine, stack, tasks, interval_cycles=MS)
+        machine.start()
+        machine.run_for(5 * MS)
+        pending = steering._pending
+        steering.stop()
+        # The scheduled steer is cancelled, not just flagged off.
+        assert pending.cancelled
+        assert steering._pending is None
+        updates = steering.updates
+        machine.run_for(10 * MS)
+        assert steering.updates == updates  # never fires again
+
+    def test_stop_before_first_fire(self):
+        machine, stack, tasks = build()
+        steering = RssSteering(machine, stack, tasks, interval_cycles=MS)
+        steering.stop()
+        machine.start()
+        machine.run_for(5 * MS)
+        assert steering.updates == 0
+
+    def test_detach_alias(self):
+        machine, stack, tasks = build()
+        steering = RssSteering(machine, stack, tasks, interval_cycles=MS)
+        steering.detach()
+        assert steering._stopped
+
+    def test_stop_idempotent(self):
+        machine, stack, tasks = build()
+        steering = RssSteering(machine, stack, tasks, interval_cycles=MS)
+        steering.stop()
+        steering.stop()
+
 
 class TestApplyAffinityExtended:
     def test_modes_list(self):
@@ -105,3 +139,38 @@ class TestApplyAffinityExtended:
         assert applied["controller"] is not None
         machine.start()
         machine.run_for(5 * MS)  # and it runs without error
+
+    def test_rotator_stop_cancels_pending_event(self):
+        machine, stack, _ = build()
+        rotator = IrqRotator(machine, [n.vector for n in stack.nics],
+                             interval_cycles=MS)
+        machine.start()
+        machine.run_for(5 * MS)
+        rotator.stop()
+        rotations = rotator.rotations
+        machine.run_for(10 * MS)
+        assert rotator.rotations == rotations
+        assert rotator._pending is None
+
+    @pytest.mark.parametrize("mode", ["rotate", "rss"])
+    def test_experiment_stops_controller(self, mode, monkeypatch):
+        """run_experiment tears the controller down at window end."""
+        from repro.core import experiment as experiment_mod
+
+        captured = {}
+        real = experiment_mod.apply_affinity
+
+        def capturing(machine, stack, tasks, m):
+            applied = real(machine, stack, tasks, m)
+            captured.update(applied)
+            return applied
+
+        monkeypatch.setattr(experiment_mod, "apply_affinity", capturing)
+        config = experiment_mod.ExperimentConfig(
+            direction="tx", message_size=16384, affinity=mode,
+            n_connections=4, warmup_ms=4, measure_ms=6,
+        )
+        experiment_mod.run_experiment(config)
+        controller = captured["controller"]
+        assert controller._stopped
+        assert controller._pending is None

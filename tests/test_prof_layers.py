@@ -147,3 +147,16 @@ class TestProcInterrupts:
         stat = ProcInterrupts(2)
         stat.count(0x42, 1)
         assert stat.deliveries(0x42) == [0, 1]
+
+    def test_reset_keeps_handed_out_ipi_row_alive(self):
+        """reset must zero ``ipi_counts`` in place: a reference handed
+        out before the measurement window has to keep observing the
+        live row, not a pre-reset orphan."""
+        stat = ProcInterrupts(2)
+        row = stat.ipi_counts  # e.g. a dashboard holding the row
+        stat.count_ipi(0)
+        stat.reset()
+        assert row == [0, 0]
+        stat.count_ipi(1)
+        assert row == [0, 1]
+        assert row is stat.ipi_counts
