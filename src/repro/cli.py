@@ -16,6 +16,10 @@ Examples::
     repro-affinity trace --direction rx --affinity full \\
         --chrome trace.json --flamegraph stacks.txt
 
+    # Find where the simulator itself spends wall-clock time.
+    repro-affinity profile --direction rx --size 65536 \\
+        --top 20 --out stats.pstats
+
 Results are cached in ``.repro-results/`` (override with
 ``REPRO_RESULTS_DIR``).
 """
@@ -213,6 +217,28 @@ def cmd_trace(args):
     return 0
 
 
+def cmd_profile(args):
+    import cProfile
+    import pstats
+
+    config = _config(args, args.affinity)
+    profiler = cProfile.Profile()
+    # Profiled runs always bypass the cache: a cache hit would profile
+    # a file read instead of the simulator.
+    profiler.enable()
+    result = run_experiment(config, cache=None)
+    profiler.disable()
+    print(result.summary())
+    print()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print("wrote pstats dump to %s (open with pstats / snakeviz)"
+              % args.out)
+    return 0
+
+
 def cmd_table1(args):
     none = _run(args, "none")
     full = _run(args, "full")
@@ -291,6 +317,22 @@ def build_parser():
     p_trace.add_argument("--top", type=int, default=10,
                          help="rows in the top-producers table")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_prof = sub.add_parser(
+        "profile", help="run one experiment under cProfile"
+    )
+    _add_common(p_prof)
+    p_prof.add_argument("--affinity", choices=EXTENDED_MODES, default="full")
+    p_prof.add_argument("--top", type=int, default=25,
+                        help="rows of the profile table to print")
+    p_prof.add_argument(
+        "--sort", default="cumulative",
+        choices=("cumulative", "tottime", "ncalls"),
+        help="pstats sort key (default cumulative)")
+    p_prof.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also dump raw pstats data (for snakeviz / pstats)")
+    p_prof.set_defaults(func=cmd_profile)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1 for a corner")
     _add_common(p_t1)

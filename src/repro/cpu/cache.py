@@ -11,7 +11,8 @@ these sizes, and this is the hottest code in the whole simulator.
 class SetAssocCache:
     """One level of a private cache hierarchy."""
 
-    __slots__ = ("geometry", "_mask", "_sets", "_ways", "hits", "misses")
+    __slots__ = ("geometry", "_mask", "_sets", "_ways", "_mru", "hits",
+                 "misses")
 
     def __init__(self, geometry):
         self.geometry = geometry
@@ -23,6 +24,15 @@ class SetAssocCache:
         self._mask = n_sets - 1
         self._ways = geometry.ways
         self._sets = [[] for _ in range(n_sets)]
+        #: The current MRU line of every non-empty set.  Maintained by
+        #: this class's own mutators so :meth:`miss_count` can prove an
+        #: entire fetch sequence hits without touching any set list (an
+        #: all-MRU walk is a no-op on cache state).  The CPU's fused
+        #: data walk bypasses these methods and does not maintain this
+        #: set -- that is fine because only the trace cache (which is
+        #: driven exclusively through :meth:`miss_count` and friends)
+        #: consumes it.
+        self._mru = set()
         self.hits = 0
         self.misses = 0
 
@@ -35,19 +45,128 @@ class SetAssocCache:
         cost model).
         """
         bucket = self._sets[line & self._mask]
+        if bucket and bucket[0] == line:
+            self.hits += 1  # already MRU: the LRU move is a no-op
+            return True
+        mru = self._mru
         try:
             pos = bucket.index(line)
         except ValueError:
             self.misses += 1
+            if bucket:
+                mru.discard(bucket[0])
+            mru.add(line)
             bucket.insert(0, line)
             if len(bucket) > self._ways:
                 bucket.pop()
             return False
         self.hits += 1
-        if pos:
+        mru.discard(bucket[0])
+        mru.add(line)
+        del bucket[pos]
+        bucket.insert(0, line)
+        return True
+
+    def access_lines(self, lines):
+        """Look up many lines in one call; fill each miss (evicting LRU).
+
+        ``lines`` is any iterable of distinct line numbers (typically a
+        ``range`` from :func:`repro.mem.layout.line_span`).  Returns
+        ``(hits, missed)`` where ``missed`` is the list of lines that
+        missed, in access order -- the worklist for the next cache
+        level.  Behaviour is exactly N calls to :meth:`access`; the
+        batching only hoists the attribute lookups and method dispatch
+        out of the per-line loop, which is where the simulator's time
+        goes on multi-KB copies.
+        """
+        sets = self._sets
+        mask = self._mask
+        ways = self._ways
+        mru = self._mru
+        hits = 0
+        missed = []
+        miss = missed.append
+        for line in lines:
+            bucket = sets[line & mask]
+            if bucket and bucket[0] == line:
+                hits += 1  # already MRU: the LRU move is a no-op
+            elif line in bucket:
+                hits += 1
+                mru.discard(bucket[0])
+                mru.add(line)
+                del bucket[bucket.index(line)]
+                bucket.insert(0, line)
+            else:
+                miss(line)
+                if bucket:
+                    mru.discard(bucket[0])
+                mru.add(line)
+                bucket.insert(0, line)
+                if len(bucket) > ways:
+                    bucket.pop()
+        self.hits += hits
+        self.misses += len(missed)
+        return hits, missed
+
+    def access_range(self, first_line, n_lines):
+        """Batched :meth:`access` over ``n_lines`` consecutive lines.
+
+        Returns ``(hits, missed)`` like :meth:`access_lines`.
+        """
+        return self.access_lines(range(first_line, first_line + n_lines))
+
+    def miss_count(self, lines):
+        """Batched :meth:`access` returning only the number of misses.
+
+        Same state transitions and counters as :meth:`access_lines`,
+        minus the ``missed`` list.  Used where the caller only prices
+        the misses and never forwards them to another level (the trace
+        cache: a fetch miss costs decode cycles, it does not probe L2).
+
+        The all-MRU shortcut: if every requested line is currently the
+        MRU of its set, the whole walk is hits with zero state change
+        (no LRU moves, no fills), so one C-speed ``issuperset`` replaces
+        the per-line loop.  This is the common case for a warm trace
+        cache fetching the same handful of kernel functions.
+        """
+        mru = self._mru
+        if mru.issuperset(lines):
+            n = len(lines)
+            self.hits += n
+            return 0
+        sets = self._sets
+        mask = self._mask
+        ways = self._ways
+        mru_discard = mru.discard
+        mru_add = mru.add
+        hits = 0
+        misses = 0
+        for line in lines:
+            bucket = sets[line & mask]
+            if bucket and bucket[0] == line:
+                hits += 1  # already MRU: the LRU move is a no-op
+                continue
+            # index-first: in the warm trace cache, non-MRU *hits*
+            # dominate this loop, and one scan beats membership + index.
+            try:
+                pos = bucket.index(line)
+            except ValueError:
+                misses += 1
+                if bucket:
+                    mru_discard(bucket[0])
+                mru_add(line)
+                bucket.insert(0, line)
+                if len(bucket) > ways:
+                    bucket.pop()
+                continue
+            hits += 1
+            mru_discard(bucket[0])
+            mru_add(line)
             del bucket[pos]
             bucket.insert(0, line)
-        return True
+        self.hits += hits
+        self.misses += misses
+        return misses
 
     def probe(self, line):
         """Non-destructive lookup: ``True`` if ``line`` is resident."""
@@ -58,6 +177,9 @@ class SetAssocCache:
         bucket = self._sets[line & self._mask]
         if line in bucket:
             return
+        if bucket:
+            self._mru.discard(bucket[0])
+        self._mru.add(line)
         bucket.insert(0, line)
         if len(bucket) > self._ways:
             bucket.pop()
@@ -65,15 +187,22 @@ class SetAssocCache:
     def invalidate(self, line):
         """Drop ``line`` if resident (coherence invalidation / DMA)."""
         bucket = self._sets[line & self._mask]
-        try:
-            bucket.remove(line)
-        except ValueError:
-            pass
+        # Membership test first: the common case is "not resident", and
+        # a raised-and-caught ValueError costs far more than one scan.
+        if line in bucket:
+            if bucket[0] == line:
+                self._mru.discard(line)
+                bucket.remove(line)
+                if bucket:
+                    self._mru.add(bucket[0])
+            else:
+                bucket.remove(line)
 
     def flush(self):
         """Empty the cache (used by tests and warm-up control)."""
         for bucket in self._sets:
             del bucket[:]
+        self._mru.clear()
 
     def resident_lines(self):
         """All resident line numbers (introspection; not a hot path)."""
@@ -90,6 +219,93 @@ class SetAssocCache:
 
     def __repr__(self):
         return "SetAssocCache(%r, hits=%d, misses=%d)" % (
+            self.geometry,
+            self.hits,
+            self.misses,
+        )
+
+
+class TraceCache:
+    """LRU cache specialised for the instruction-fetch path.
+
+    Replacement policy, hit/miss accounting and geometry validation are
+    exactly :class:`SetAssocCache`; only the representation differs.
+    Each set is a dict in LRU-to-MRU insertion order (the MRU entry is
+    the *last* key), so the dominant operation of a warm trace cache --
+    re-fetching a resident line and moving it to MRU -- is two O(1)
+    dict operations instead of a list scan plus an element shuffle.
+    The simulator drives this cache exclusively through
+    :meth:`miss_count`; coherence invalidation and DMA never touch
+    instruction lines, so no ``invalidate`` entry point is needed.
+    """
+
+    __slots__ = ("geometry", "_mask", "_sets", "_ways", "hits", "misses")
+
+    def __init__(self, geometry):
+        self.geometry = geometry
+        n_sets = geometry.n_sets
+        if n_sets & (n_sets - 1):
+            raise ValueError(
+                "%s: set count %d is not a power of two" % (geometry.name, n_sets)
+            )
+        self._mask = n_sets - 1
+        self._ways = geometry.ways
+        self._sets = [{} for _ in range(n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def miss_count(self, lines):
+        """Batched fetch of ``lines``; returns the number of misses.
+
+        Same state transitions and counters as ``SetAssocCache``: each
+        hit becomes MRU of its set, each miss fills (evicting the LRU
+        way).  A hit on the current MRU re-inserts the same key, which
+        is a no-op on ordering -- no separate fast path needed.
+        """
+        sets = self._sets
+        mask = self._mask
+        ways = self._ways
+        hits = 0
+        misses = 0
+        for line in lines:
+            bucket = sets[line & mask]
+            if line in bucket:
+                hits += 1
+                del bucket[line]
+                bucket[line] = True
+            else:
+                misses += 1
+                bucket[line] = True
+                if len(bucket) > ways:
+                    del bucket[next(iter(bucket))]
+        self.hits += hits
+        self.misses += misses
+        return misses
+
+    def probe(self, line):
+        """Non-destructive lookup: ``True`` if ``line`` is resident."""
+        return line in self._sets[line & self._mask]
+
+    def flush(self):
+        """Empty the cache (used by tests and warm-up control)."""
+        for bucket in self._sets:
+            bucket.clear()
+
+    def resident_lines(self):
+        """All resident line numbers (introspection; not a hot path)."""
+        lines = []
+        for bucket in self._sets:
+            lines.extend(bucket)
+        return lines
+
+    def occupancy(self):
+        """Fraction of capacity currently filled."""
+        filled = sum(len(bucket) for bucket in self._sets)
+        capacity = len(self._sets) * self._ways
+        return filled / float(capacity)
+
+    def __repr__(self):
+        return "TraceCache(%r, hits=%d, misses=%d)" % (
             self.geometry,
             self.hits,
             self.misses,

@@ -45,6 +45,9 @@ class FunctionSpec:
         "mispredict_rate",
         "stall_per_instr",
         "stall_per_call",
+        "_fetch_memo",
+        "_fetch_by_count",
+        "_cost_memo",
     )
 
     def __init__(
@@ -76,6 +79,22 @@ class FunctionSpec:
         self.mispredict_rate = mispredict_rate
         self.stall_per_instr = stall_per_instr
         self.stall_per_call = stall_per_call
+        #: Prefix tuples of ``code_lines`` keyed by line count: most
+        #: functions are invoked with a handful of distinct instruction
+        #: counts, and re-slicing the same prefix on every charge was
+        #: measurable allocator churn in the hot path.  Bounded by the
+        #: static footprint (at most ``len(code_lines)`` entries).
+        self._fetch_memo = {}
+        #: Second-level memo keyed directly by instruction count, so
+        #: the CPU charge path can skip the bytes-to-lines arithmetic
+        #: (and this method's call frame) entirely on repeat counts.
+        #: Capped in the consumer; values alias ``_fetch_memo`` entries.
+        self._fetch_by_count = {}
+        #: ``instructions -> (stall_cycles, default_branches)`` -- both
+        #: pure functions of the spec and the dynamic instruction
+        #: count, recomputed identically on every charge before this
+        #: memo existed.  Capped in the consumer.
+        self._cost_memo = {}
 
     def fetch_lines(self, instructions):
         """Code lines touched by a dynamic path of ``instructions``.
@@ -88,7 +107,13 @@ class FunctionSpec:
         lines = self.code_lines
         if needed >= len(lines):
             return lines
-        return lines[: needed or 1]
+        if not needed:
+            needed = 1
+        memo = self._fetch_memo
+        prefix = memo.get(needed)
+        if prefix is None:
+            prefix = memo[needed] = lines[:needed]
+        return prefix
 
     def __repr__(self):
         return "FunctionSpec(%s, bin=%s)" % (self.name, self.bin)

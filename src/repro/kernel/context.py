@@ -67,17 +67,17 @@ class ExecContext:
         declared in DESIGN.md.
         """
         self.current_spec = spec
+        # Positional call: this wrapper runs once per simulated function
+        # invocation and keyword argument binding is measurable here.
         cycles = self.cpu.charge(
-            spec,
-            instructions,
-            reads=reads,
-            writes=writes,
-            extra_cycles=extra_cycles,
-            branches=branches,
-            mispredicts=mispredicts,
+            spec, instructions, reads, writes, extra_cycles,
+            branches, mispredicts,
         )
         if self.kind != KIND_HARDIRQ:
-            self.machine.deliver_pending_hardirqs(self.cpu)
+            machine = self.machine
+            # Common case: nothing pending; skip the delivery call.
+            if machine.states[self.cpu.index].pending_irqs:
+                machine.deliver_pending_hardirqs(self.cpu)
         return cycles
 
     # ------------------------------------------------------------------

@@ -185,6 +185,14 @@ class Machine:
         self._rq_objs = [
             self.space.alloc("runqueue%d" % i, 512) for i in range(n_cpus)
         ]
+        #: Per-CPU tick callbacks and labels, built once and reused by
+        #: every re-arm (batched timer scheduling).
+        self._tick_callbacks = [self._make_tick(i) for i in range(n_cpus)]
+        self._tick_labels = ["tick%d" % i for i in range(n_cpus)]
+        #: Per-CPU step callbacks and labels, likewise reused: steps are
+        #: the most frequently scheduled event in the simulator.
+        self._step_callbacks = [self._make_step(i) for i in range(n_cpus)]
+        self._step_labels = ["step%d" % i for i in range(n_cpus)]
 
     def _register_internal_functions(self):
         reg = self.functions.register
@@ -277,8 +285,8 @@ class Machine:
         for i in range(self.n_cpus):
             self.engine.schedule_at(
                 self.tick_cycles + i,  # stagger ticks per CPU
-                self._make_tick(i),
-                label="tick%d" % i,
+                self._tick_callbacks[i],
+                label=self._tick_labels[i],
             )
             self._kick(i)
 
@@ -525,6 +533,12 @@ class Machine:
             state.halted = False
         self._schedule_step(cpu_index)
 
+    def _make_step(self, cpu_index):
+        def step():
+            self._step(cpu_index)
+
+        return step
+
     def _schedule_step(self, cpu_index, at=None):
         state = self.states[cpu_index]
         if state.step_pending:
@@ -532,7 +546,8 @@ class Machine:
         state.step_pending = True
         time = max(self.engine.now, at if at is not None else self.engine.now)
         self.engine.schedule_at(
-            time, lambda: self._step(cpu_index), label="step%d" % cpu_index
+            time, self._step_callbacks[cpu_index],
+            label=self._step_labels[cpu_index],
         )
 
     def _step(self, cpu_index):
@@ -809,9 +824,12 @@ class Machine:
     def _tick(self, cpu_index):
         cpu = self.cpus[cpu_index]
         state = self.states[cpu_index]
+        # Re-arm with the prebuilt callback/label: the tick fires a
+        # thousand times per simulated second per CPU, and building a
+        # fresh closure and label string each time churned the heap.
         self.engine.schedule_after(
-            self.tick_cycles, self._make_tick(cpu_index),
-            label="tick%d" % cpu_index,
+            self.tick_cycles, self._tick_callbacks[cpu_index],
+            label=self._tick_labels[cpu_index],
         )
         if state.spinning_lock is not None:
             return  # interrupts effectively masked while spinning

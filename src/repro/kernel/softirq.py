@@ -24,6 +24,8 @@ SOFTIRQ_NAMES = ("HI", "NET_TX", "NET_RX", "TIMER")
 class SoftirqTable:
     """Registered softirq actions: index -> generator factory ``f(ctx)``."""
 
+    __slots__ = ("_actions", "raised", "executed")
+
     def __init__(self):
         self._actions = [None] * N_SOFTIRQS
         self.raised = [0] * N_SOFTIRQS
@@ -47,6 +49,15 @@ class SoftirqTable:
         return self._actions[index] is not None
 
 
+#: All 2**N_SOFTIRQS decode results, precomputed: the pending mask is
+#: decoded on every softirq pass, and the table turns that into a tuple
+#: lookup.
+_PENDING_ORDER = tuple(
+    tuple(i for i in range(N_SOFTIRQS) if (mask >> i) & 1)
+    for mask in range(1 << N_SOFTIRQS)
+)
+
+
 def pending_order(pending_mask):
     """Softirq indices set in ``pending_mask``, in priority order."""
-    return [i for i in range(N_SOFTIRQS) if (pending_mask >> i) & 1]
+    return _PENDING_ORDER[pending_mask]

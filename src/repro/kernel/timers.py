@@ -69,9 +69,12 @@ class TimerWheel:
 
     def expire(self, now):
         """Detach and return timers with ``expires <= now``."""
-        due = [t for t in self._timers if t.expires <= now]
+        timers = self._timers
+        if not timers:
+            return []  # the tick polls every wheel; most are empty
+        due = [t for t in timers if t.expires <= now]
         if due:
-            self._timers = [t for t in self._timers if t.expires > now]
+            self._timers = [t for t in timers if t.expires > now]
             for timer in due:
                 timer.expires = None
                 timer.cpu_index = None

@@ -31,6 +31,18 @@ def line_span(addr, size):
     return range(first, last + 1)
 
 
+def lines_for(nbytes):
+    """Cache lines needed to hold ``nbytes`` (at least one).
+
+    This is the *footprint* rounding used when a byte count is turned
+    into per-line work (copy loops, checksum loops): even a zero-byte
+    operation touches one line of state.  Address-anchored conversions
+    go through :func:`line_span` instead; keeping both here means the
+    batched and per-line charge paths can never disagree on rounding.
+    """
+    return max(1, -(-nbytes // CACHE_LINE))
+
+
 def page_span(addr, size):
     """Return ``range`` of page numbers covering ``[addr, addr+size)``."""
     if size <= 0:

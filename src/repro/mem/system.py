@@ -170,16 +170,22 @@ class MemorySystem:
         """
         from repro.mem.layout import line_span
 
-        for line in line_span(addr, size):
-            entry = self.directory.get(line)
+        span = line_span(addr, size)
+        get_entry = self.directory.get
+        reps = self._domain_reps.items()
+        invalidations = 0
+        for line in span:
+            entry = get_entry(line)
             if entry is not None and entry[SHARERS]:
-                for dom, rep in self._domain_reps.items():
-                    if entry[SHARERS] & (1 << dom):
+                sharers = entry[SHARERS]
+                for dom, rep in reps:
+                    if sharers & (1 << dom):
                         rep.invalidate_line(line)
-                        self.invalidations += 1
+                        invalidations += 1
                 entry[SHARERS] = 0
                 entry[OWNER] = -1
-            self.dma_lines_written += 1
+        self.invalidations += invalidations
+        self.dma_lines_written += len(span)
 
     def dma_read(self, addr, size):
         """Device reads memory (e.g. NIC transmit DMA).
@@ -191,17 +197,24 @@ class MemorySystem:
         """
         from repro.mem.layout import line_span
 
-        for line in line_span(addr, size):
-            entry = self.directory.get(line)
+        span = line_span(addr, size)
+        get_entry = self.directory.get
+        reps = self._domain_reps.items()
+        invalidate = self.dma_read_invalidates
+        invalidations = 0
+        for line in span:
+            entry = get_entry(line)
             if entry is not None:
-                if self.dma_read_invalidates and entry[SHARERS]:
-                    for dom, rep in self._domain_reps.items():
-                        if entry[SHARERS] & (1 << dom):
+                sharers = entry[SHARERS]
+                if invalidate and sharers:
+                    for dom, rep in reps:
+                        if sharers & (1 << dom):
                             rep.invalidate_line(line)
-                            self.invalidations += 1
+                            invalidations += 1
                     entry[SHARERS] = 0
                 entry[OWNER] = -1
-            self.dma_lines_read += 1
+        self.invalidations += invalidations
+        self.dma_lines_read += len(span)
 
     # ------------------------------------------------------------------
     # Introspection helpers (tests, tools).

@@ -13,7 +13,7 @@ We reproduce the asymmetry with instruction densities per cache line
 movl`` path, which yields the paper's RX-copy MPI of ~0.13.
 """
 
-from repro.mem.layout import CACHE_LINE
+from repro.mem.layout import lines_for
 from repro.net.params import (
     RX_COPY_INSTR_PER_LINE,
     RX_COPY_SETUP_INSTRUCTIONS,
@@ -22,10 +22,6 @@ from repro.net.params import (
     TX_COPY_OFFLOAD_INSTR_PER_LINE,
     TX_COPY_SETUP_INSTRUCTIONS,
 )
-
-
-def _lines(nbytes):
-    return max(1, -(-nbytes // CACHE_LINE))
 
 
 def charge_tx_copy(ctx, spec, src_range, dst_range, nbytes,
@@ -41,7 +37,7 @@ def charge_tx_copy(ctx, spec, src_range, dst_range, nbytes,
         else TX_COPY_INSTR_PER_LINE
     )
     instructions = (
-        TX_COPY_SETUP_INSTRUCTIONS + _lines(nbytes) * per_line
+        TX_COPY_SETUP_INSTRUCTIONS + lines_for(nbytes) * per_line
     )
     return ctx.charge(
         spec,
@@ -58,7 +54,7 @@ def charge_rx_copy(ctx, spec, src_range, dst_range, nbytes):
     cycles come almost entirely from the (cold) source misses.
     """
     instructions = (
-        RX_COPY_SETUP_INSTRUCTIONS + _lines(nbytes) * RX_COPY_INSTR_PER_LINE
+        RX_COPY_SETUP_INSTRUCTIONS + lines_for(nbytes) * RX_COPY_INSTR_PER_LINE
     )
     return ctx.charge(
         spec,
@@ -74,7 +70,7 @@ def charge_rx_csum(ctx, spec, payload_range, nbytes):
     Only charged when the NIC cannot verify receive checksums; reads
     the (DMA-cold) payload, which warms it for the later copy.
     """
-    instructions = 20 + _lines(nbytes) * RX_CSUM_INSTR_PER_LINE
+    instructions = 20 + lines_for(nbytes) * RX_CSUM_INSTR_PER_LINE
     return ctx.charge(
         spec,
         instructions,

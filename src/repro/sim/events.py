@@ -51,7 +51,15 @@ class Event:
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event` objects."""
+    """A deterministic min-heap of :class:`Event` objects.
+
+    Heap entries are ``(time, order, event)`` tuples rather than the
+    events themselves: tuple comparison runs entirely in C, so sift
+    operations never call back into :meth:`Event.__lt__` (which is kept
+    for direct comparisons by callers and tests).  The key fields are
+    immutable copies of the event's own, and ``(time, order)`` is
+    unique, so ordering is identical.
+    """
 
     #: Compact only past this heap size (small heaps aren't worth it).
     COMPACT_MIN = 64
@@ -68,9 +76,10 @@ class EventQueue:
         """Schedule ``callback`` to run at simulated cycle ``time``."""
         if time < 0:
             raise ValueError("cannot schedule an event at negative time %r" % time)
-        event = Event(time, next(self._counter), callback, label)
+        order = next(self._counter)
+        event = Event(time, order, callback, label)
         event._queue = self
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, order, event))
         self._live += 1
         return event
 
@@ -89,26 +98,52 @@ class EventQueue:
         Event ordering keys (time, order) are unique, so re-heapifying
         the surviving events preserves deterministic pop order.
         """
-        self._heap = [e for e in self._heap if not e.cancelled]
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
         heapq.heapify(self._heap)
 
     def pop(self):
         """Pop and return the earliest live event, or ``None`` when drained."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[2]
             if not event.cancelled:
                 event._queue = None
                 self._live -= 1
                 return event
         return None
 
+    def pop_due(self, until):
+        """Pop the earliest live event firing at or before ``until``.
+
+        ``until=None`` means no deadline.  Returns ``None`` when the
+        queue is drained *or* the earliest live event is past the
+        deadline (it stays queued); disambiguate with
+        :meth:`peek_time`.  This is the engine's run-loop fast path: it
+        skips cancelled debris and pops in a single heap pass instead
+        of the peek-then-pop double walk.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            event = entry[2]
+            if event.cancelled:
+                pop(heap)
+                continue
+            if until is not None and entry[0] > until:
+                return None
+            pop(heap)
+            event._queue = None
+            self._live -= 1
+            return event
+        return None
+
     def peek_time(self):
         """Return the time of the earliest live event without popping it."""
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
 
 class SimulationEngine:
@@ -177,16 +212,17 @@ class SimulationEngine:
         """
         fired = 0
         self._stopped = False
+        queue = self.queue
         while not self._stopped:
             if max_events is not None and fired >= max_events:
                 break
-            next_time = self.queue.peek_time()
-            if next_time is None:
+            event = queue.pop_due(until)
+            if event is None:
+                if until is not None and queue.peek_time() is not None:
+                    # The next event is beyond the horizon; time still
+                    # advances to it (run_for semantics).
+                    self.now = until
                 break
-            if until is not None and next_time > until:
-                self.now = until
-                break
-            event = self.queue.pop()
             if event.time < self.now:
                 self.monotonicity_violations += 1
             self.now = event.time

@@ -1,0 +1,191 @@
+"""Edge cases and equivalence proofs for the batched access paths.
+
+The hot-path optimizations replaced per-line / per-page loops with
+batched walks and alternative representations (``access_lines``,
+``miss_count``, ``Tlb.access_range``, the dict-backed ``TraceCache``).
+Every one of them claims *exact* behavioural equivalence with N calls
+to the single-element primitive; these tests check that claim on
+randomized traces and on the corners where batched arithmetic likes
+to go wrong (set wrap-around, single-byte ranges, zero-instruction
+fetches).
+"""
+
+import random
+
+from repro.cpu.cache import SetAssocCache, TraceCache
+from repro.cpu.function import FunctionSpec
+from repro.cpu.params import CacheGeometry, TlbGeometry
+from repro.cpu.tlb import Tlb
+from repro.mem.layout import CACHE_LINE, line_span, lines_for
+
+
+def make_cache(size=1024, ways=4):
+    return SetAssocCache(CacheGeometry(size, ways, line=64, name="T"))
+
+
+def cache_state(cache):
+    """Full replacement state: per-set line order, MRU first."""
+    return [list(bucket) for bucket in cache._sets]
+
+
+def trace_cache_state(cache):
+    """TraceCache state normalized to the same MRU-first convention.
+
+    Dict buckets keep LRU-to-MRU insertion order (MRU last), the list
+    representation keeps MRU first; reversing one gives the other.
+    """
+    return [list(reversed(bucket)) for bucket in cache._sets]
+
+
+class TestBatchedEquivalence:
+    def _random_trace(self, seed, n, line_universe):
+        rng = random.Random(seed)
+        trace = []
+        while len(trace) < n:
+            if rng.random() < 0.5:
+                # A contiguous range, like a copy loop.
+                start = rng.randrange(line_universe)
+                length = rng.randint(1, 24)
+                trace.append(list(range(start, start + length)))
+            else:
+                # Scattered singles, like pointer chasing.
+                trace.append([rng.randrange(line_universe)])
+        return trace
+
+    def test_access_lines_equals_n_accesses(self):
+        for seed in range(5):
+            ref = make_cache()
+            bat = make_cache()
+            for lines in self._random_trace(seed, 40, 256):
+                ref_hits = sum(ref.access(line) for line in lines)
+                hits, missed = bat.access_lines(lines)
+                assert hits == ref_hits
+                assert len(missed) == len(lines) - hits
+                assert cache_state(bat) == cache_state(ref)
+            assert (bat.hits, bat.misses) == (ref.hits, ref.misses)
+
+    def test_miss_count_equals_n_accesses(self):
+        for seed in range(5):
+            ref = make_cache()
+            bat = make_cache()
+            for lines in self._random_trace(seed + 100, 40, 256):
+                ref_misses = sum(not ref.access(line) for line in lines)
+                assert bat.miss_count(lines) == ref_misses
+                assert cache_state(bat) == cache_state(ref)
+            assert (bat.hits, bat.misses) == (ref.hits, ref.misses)
+
+    def test_trace_cache_equals_set_assoc(self):
+        geometry = CacheGeometry(2048, 8, line=64, name="TC")
+        for seed in range(5):
+            ref = SetAssocCache(geometry)
+            alt = TraceCache(geometry)
+            for lines in self._random_trace(seed + 200, 60, 512):
+                assert alt.miss_count(lines) == ref.miss_count(lines)
+                assert trace_cache_state(alt) == cache_state(ref)
+            assert (alt.hits, alt.misses) == (ref.hits, ref.misses)
+            assert sorted(alt.resident_lines()) == sorted(ref.resident_lines())
+            assert alt.occupancy() == ref.occupancy()
+
+    def test_access_range_is_access_lines_on_a_range(self):
+        a = make_cache()
+        b = make_cache()
+        assert a.access_range(7, 9) == b.access_lines(list(range(7, 16)))
+        assert cache_state(a) == cache_state(b)
+
+    def test_tlb_access_range_equals_n_accesses(self):
+        geometry = TlbGeometry(8, name="T")
+        page = 4096
+        for seed in range(5):
+            rng = random.Random(seed)
+            ref = Tlb(geometry)
+            bat = Tlb(geometry)
+            for _ in range(60):
+                addr = rng.randrange(64) * page + rng.randrange(page)
+                size = rng.choice([1, 64, page, 3 * page, 17 * page])
+                want = sum(
+                    not ref.access(p)
+                    for p in range(addr // page, (addr + size - 1) // page + 1)
+                )
+                assert bat.access_range(addr, size) == want
+                assert bat._entries == ref._entries
+            assert (bat.hits, bat.walks) == (ref.hits, ref.walks)
+
+
+class TestSetWraparound:
+    def test_range_wider_than_the_cache_wraps_sets(self):
+        # 4 sets x 4 ways = 16 lines capacity; a 16-line contiguous
+        # range lands 4 lines in every set, exactly filling the cache.
+        c = make_cache(size=1024, ways=4)
+        hits, missed = c.access_range(0, 16)
+        assert hits == 0 and len(missed) == 16
+        assert c.occupancy() == 1.0
+        # The next 16 lines wrap around the index space and evict
+        # everything, set by set, LRU first.
+        hits, missed = c.access_range(16, 16)
+        assert hits == 0 and len(missed) == 16
+        assert sorted(c.resident_lines()) == list(range(16, 32))
+
+    def test_wraparound_preserves_lru_order_per_set(self):
+        c = make_cache(size=1024, ways=4)  # 4 sets
+        # Lines 3, 7, 11, 15, 19 all map to set 3; 19 evicts 3.
+        c.access_lines([3, 7, 11, 15])
+        c.access(3)      # refresh: LRU is now 7
+        c.access(19)     # wraps the index space (19 & 3 == 3), evicts 7
+        assert c.probe(3) and not c.probe(7)
+        assert c.probe(11) and c.probe(15) and c.probe(19)
+
+
+class TestSingleByteRanges:
+    def test_line_span_of_one_byte(self):
+        assert list(line_span(1000, 1)) == [1000 // CACHE_LINE]
+        assert lines_for(1) == 1
+
+    def test_single_byte_straddles_nothing(self):
+        # The last byte of a line and the first of the next are
+        # different single-line spans, not one two-line span.
+        end_of_line = CACHE_LINE - 1
+        assert list(line_span(end_of_line, 1)) == [0]
+        assert list(line_span(end_of_line + 1, 1)) == [1]
+        assert list(line_span(end_of_line, 2)) == [0, 1]
+
+    def test_zero_and_negative_sizes_are_empty(self):
+        assert list(line_span(4096, 0)) == []
+        assert list(line_span(4096, -8)) == []
+        assert lines_for(0) == 1  # floor: a touch is at least one line
+
+    def test_tlb_single_byte(self):
+        tlb = Tlb(TlbGeometry(4, name="T"))
+        assert tlb.access_range(12345, 1) == 1  # cold: one walk
+        assert tlb.access_range(12345, 1) == 0  # now MRU
+        assert tlb.access_range(12345, 0) == 0  # empty range: no-op
+        assert (tlb.hits, tlb.walks) == (1, 1)
+
+
+class TestFetchLinesEdges:
+    def _spec(self, code_size=1536):
+        return FunctionSpec("fn", "engine", code_addr=0x40000,
+                            code_size=code_size)
+
+    def test_zero_instructions_still_fetches_one_line(self):
+        spec = self._spec()
+        lines = spec.fetch_lines(0)
+        assert len(lines) == 1
+        assert lines == spec.code_lines[:1]
+
+    def test_long_path_is_capped_at_the_static_footprint(self):
+        spec = self._spec(code_size=256)  # 4 lines
+        assert spec.fetch_lines(10_000) == spec.code_lines
+        assert len(spec.code_lines) == 4
+
+    def test_prefixes_are_memoized_and_stable(self):
+        spec = self._spec()
+        a = spec.fetch_lines(20)
+        b = spec.fetch_lines(20)
+        assert a is b  # memo returns the identical tuple
+        assert a == spec.code_lines[: len(a)]
+        # Monotone: more instructions never fetch fewer lines.
+        previous = 0
+        for instructions in range(0, 600, 7):
+            n = len(spec.fetch_lines(instructions))
+            assert n >= previous
+            previous = n

@@ -1,0 +1,123 @@
+"""Golden end-to-end determinism / equivalence suite.
+
+``tests/golden/metrics.json`` pins, for a fixed seed, the *complete*
+result payload (as a SHA-256 over the sorted-key JSON) plus a few
+plain metrics of every cell in a 24-cell matrix: both directions,
+three message sizes, all four affinity modes.
+
+The hash makes this a bit-identity check: any change to simulated
+cache behaviour, event ordering, cycle charging or accounting -- no
+matter how small -- flips it.  That is the safety net under the
+hot-path optimizations (batched walks, memoized fetch costs, the
+dict-backed trace cache, the tuple event heap): each is required to
+be a pure speedup, and this suite is the proof.
+
+Regenerate after an *intentional* model change with::
+
+    PYTHONPATH=src python tests/test_golden_determinism.py --regenerate
+
+and eyeball the diff of the plain metrics before committing.
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "metrics.json")
+
+DIRECTIONS = ("tx", "rx")
+SIZES = (1024, 16384, 65536)
+MODES = ("none", "proc", "irq", "full")
+
+
+def _config(direction, size, mode):
+    # Small windows keep the 24-cell matrix affordable in tier-1; the
+    # hash covers the full payload, so even tiny windows pin every
+    # counter the simulator produces.
+    return ExperimentConfig(
+        direction=direction,
+        message_size=size,
+        affinity=mode,
+        n_connections=4,
+        warmup_ms=2,
+        measure_ms=3,
+        seed=7,
+    )
+
+
+def _cell(direction, size, mode):
+    result = run_experiment(_config(direction, size, mode))
+    payload = result.to_dict()
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+    return payload, digest
+
+
+def _load_golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+GOLDEN = _load_golden()
+
+CELLS = [
+    ("%s-%d-%s" % (d, s, m), d, s, m)
+    for d in DIRECTIONS for s in SIZES for m in MODES
+]
+
+
+def test_golden_table_is_complete():
+    assert sorted(GOLDEN) == sorted(key for key, _, _, _ in CELLS)
+
+
+@pytest.mark.parametrize(
+    "key,direction,size,mode",
+    CELLS,
+    ids=[key for key, _, _, _ in CELLS],
+)
+def test_golden_cell(key, direction, size, mode):
+    want = GOLDEN[key]
+    payload, digest = _cell(direction, size, mode)
+    # Plain metrics first: when a model change is intentional, these
+    # tell you *what* moved; the hash alone only tells you something
+    # did.
+    assert payload["busy_cycles"] == want["busy_cycles"]
+    assert payload["total_bytes"] == want["total_bytes"]
+    assert payload["window_cycles"] == want["window_cycles"]
+    assert str(payload["throughput_gbps"]) == want["throughput_gbps"]
+    got_bins = {b: v[:7] for b, v in payload["bins"].items()}
+    assert got_bins == want["bins"]
+    assert digest == want["sha256"]
+
+
+def _regenerate():
+    table = {}
+    for key, direction, size, mode in CELLS:
+        payload, digest = _cell(direction, size, mode)
+        table[key] = {
+            "sha256": digest,
+            "busy_cycles": payload["busy_cycles"],
+            "total_bytes": payload["total_bytes"],
+            "window_cycles": payload["window_cycles"],
+            "throughput_gbps": str(payload["throughput_gbps"]),
+            "bins": {b: v[:7] for b, v in payload["bins"].items()},
+        }
+        print("%-16s %s" % (key, digest))
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(table, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print("wrote %s (%d cells)" % (GOLDEN_PATH, len(table)))
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

@@ -1,0 +1,259 @@
+"""Wall-clock benchmark harness for the simulator's hot path.
+
+    PYTHONPATH=src python tools/bench.py [--quick] [--repeats N]
+    PYTHONPATH=src python tools/bench.py --check [--threshold 0.15]
+    PYTHONPATH=src python tools/bench.py --update-baseline
+
+Runs a matrix of ttcp cells (affinity mode x message size), timing
+each one end to end with ``time.process_time`` (CPU time: immune to
+scheduler preemption, the dominant noise source on shared runners).
+Each cell is repeated and summarized as median and p90 seconds plus
+simulated events per wall-second, then written to
+``benchmarks/perf/BENCH_<date>.json``.
+
+Regression gating
+-----------------
+Absolute wall-clock is machine-specific, so the committed baseline
+(``benchmarks/perf/baseline.json``) cannot be compared across hosts
+directly.  Every bench run therefore also times a fixed pure-Python
+*calibration kernel* whose instruction mix (dict churn, short-list
+scans, integer arithmetic) mirrors the simulator's, and records each
+cell as a dimensionless **score** = cell seconds / calibration
+seconds.  ``--check`` compares scores: a cell whose score exceeds the
+baseline's by more than ``--threshold`` (default 15%) fails the run.
+Scores still drift a few percent between CPU generations -- the gate
+catches real regressions (tens of percent), not micro-noise.
+
+The experiment result cache is always bypassed; a cache hit would
+time a file read.
+"""
+
+import argparse
+import datetime
+import gc
+import json
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.experiment import ExperimentConfig, run_experiment  # noqa: E402
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+PERF_DIR = os.path.join(HERE, "..", "benchmarks", "perf")
+BASELINE = os.path.join(PERF_DIR, "baseline.json")
+
+#: The full matrix: the paper's four placement policies crossed with
+#: small / medium / large transactions (1KB stresses per-charge
+#: overhead, 64KB stresses the batched copy walks).
+MODES = ("none", "proc", "irq", "full")
+SIZES = (1024, 16384, 65536)
+
+#: ``--quick`` corners: the cheapest and the most expensive cell of
+#: the matrix -- enough to catch a hot-path regression in CI without
+#: paying for all twelve cells.
+QUICK_CELLS = (("none", 1024), ("full", 65536))
+
+
+def _cell_config(mode, size, direction, measure_ms):
+    return ExperimentConfig(
+        direction=direction,
+        message_size=size,
+        affinity=mode,
+        n_connections=4,
+        warmup_ms=2,
+        measure_ms=measure_ms,
+        seed=7,
+    )
+
+
+def calibrate(repeats=5):
+    """Time the fixed calibration kernel; returns median seconds.
+
+    Pure-Python dict/list/integer churn sized to ~100ms on 2020s
+    hardware.  Deterministic: no allocation-order or hash-seed
+    dependence that would move the timing between runs.
+    """
+    def kernel():
+        buckets = [{} for _ in range(64)]
+        lists = [[] for _ in range(64)]
+        acc = 0
+        for i in range(120_000):
+            line = (i * 2654435761) >> 8
+            b = buckets[line & 63]
+            if line in b:
+                del b[line]
+                b[line] = True
+            else:
+                b[line] = True
+                if len(b) > 8:
+                    del b[next(iter(b))]
+            lst = lists[line & 63]
+            if lst and lst[0] == line:
+                acc += 1
+            else:
+                lst.insert(0, line)
+                if len(lst) > 8:
+                    lst.pop()
+            acc += line & 7
+        return acc
+
+    times = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            t0 = time.process_time()
+            kernel()
+            times.append(time.process_time() - t0)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return statistics.median(times)
+
+
+def bench_cell(mode, size, direction, measure_ms, repeats):
+    """Time one cell ``repeats`` times; returns the summary dict."""
+    cfg = _cell_config(mode, size, direction, measure_ms)
+    # One untimed run warms import caches, code objects and the
+    # function-spec memos that persist across Machine instances.
+    run_experiment(cfg, cache=None)
+    times = []
+    events = 0
+    for _ in range(repeats):
+        t0 = time.process_time()
+        result = run_experiment(cfg, cache=None)
+        times.append(time.process_time() - t0)
+        events = result.events_fired
+    times.sort()
+    median = statistics.median(times)
+    p90 = times[min(len(times) - 1, int(round(0.9 * (len(times) - 1))))]
+    return {
+        "mode": mode,
+        "size": size,
+        "direction": direction,
+        "repeats": repeats,
+        "measure_ms": measure_ms,
+        "median_s": round(median, 4),
+        "p90_s": round(p90, 4),
+        "min_s": round(times[0], 4),
+        "events_fired": events,
+        "events_per_s": round(events / median) if median else 0,
+    }
+
+
+def run_matrix(args):
+    cells = QUICK_CELLS if args.quick else [
+        (m, s) for m in MODES for s in SIZES
+    ]
+    calib = calibrate()
+    print("calibration kernel: %.4fs" % calib, file=sys.stderr)
+    rows = []
+    for mode, size in cells:
+        row = bench_cell(mode, size, args.direction, args.measure_ms,
+                         args.repeats)
+        row["score"] = round(row["median_s"] / calib, 3)
+        rows.append(row)
+        print("%-5s %6dB  median %.3fs  p90 %.3fs  %9d ev/s  score %.2f"
+              % (row["mode"], row["size"], row["median_s"], row["p90_s"],
+                 row["events_per_s"], row["score"]),
+              file=sys.stderr)
+    return {
+        "schema": 1,
+        "date": datetime.date.today().isoformat(),
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "direction": args.direction,
+        "calibration_s": round(calib, 4),
+        "quick": bool(args.quick),
+        "cells": rows,
+    }
+
+
+def check_against_baseline(report, threshold):
+    """Compare a fresh report's scores to the committed baseline.
+
+    Returns the number of regressed cells (0 = pass).  Cells missing
+    from the baseline are reported but never fail the check, so the
+    matrix can grow without a lockstep baseline update.
+    """
+    if not os.path.exists(BASELINE):
+        print("no baseline at %s; run --update-baseline first" % BASELINE,
+              file=sys.stderr)
+        return 1
+    with open(BASELINE) as fh:
+        base = json.load(fh)
+    base_cells = {
+        (c["mode"], c["size"], c["direction"]): c for c in base["cells"]
+    }
+    regressed = 0
+    for cell in report["cells"]:
+        key = (cell["mode"], cell["size"], cell["direction"])
+        ref = base_cells.get(key)
+        if ref is None:
+            print("  %-5s %6dB: no baseline entry (skipped)"
+                  % (cell["mode"], cell["size"]))
+            continue
+        ratio = cell["score"] / ref["score"] if ref["score"] else 0.0
+        verdict = "ok"
+        if ratio > 1.0 + threshold:
+            verdict = "REGRESSED"
+            regressed += 1
+        print("  %-5s %6dB: score %.2f vs baseline %.2f (%+.1f%%) %s"
+              % (cell["mode"], cell["size"], cell["score"], ref["score"],
+                 (ratio - 1.0) * 100, verdict))
+    return regressed
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--direction", choices=("tx", "rx"), default="rx")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed runs per cell (default 5)")
+    parser.add_argument("--measure-ms", type=int, default=6,
+                        help="simulated measurement window per run")
+    parser.add_argument("--quick", action="store_true",
+                        help="two-cell smoke matrix (for CI)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed baseline; "
+                             "exit non-zero on regression")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed relative score growth (default 0.15)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write this run's report as the new baseline")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default "
+                             "benchmarks/perf/BENCH_<date>.json)")
+    args = parser.parse_args(argv)
+
+    report = run_matrix(args)
+
+    os.makedirs(PERF_DIR, exist_ok=True)
+    out = args.out or os.path.join(
+        PERF_DIR, "BENCH_%s.json" % report["date"]
+    )
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote %s" % out, file=sys.stderr)
+
+    if args.update_baseline:
+        with open(BASELINE, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("updated %s" % BASELINE, file=sys.stderr)
+
+    if args.check:
+        regressed = check_against_baseline(report, args.threshold)
+        if regressed:
+            print("%d cell(s) regressed beyond %.0f%%"
+                  % (regressed, args.threshold * 100), file=sys.stderr)
+            return 1
+        print("all cells within %.0f%% of baseline"
+              % (args.threshold * 100), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
