@@ -7,7 +7,6 @@
   dilutes the fast-path share.
 """
 
-import pytest
 
 from repro.apps.iscsi import IscsiTargetWorkload
 from repro.apps.webserve import WebServerWorkload

@@ -9,7 +9,6 @@ affinity wins materially) survives, and that machine clears + LLC
 misses stay the dominant indicator events.
 """
 
-import pytest
 
 from repro.core.experiment import ExperimentConfig, run_experiment
 from repro.core.indicators import dominant_events, impact_indicators

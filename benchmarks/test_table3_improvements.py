@@ -45,7 +45,6 @@ def test_table3_tx128(benchmark, tx128_pair, artifacts_dir):
     rows = improvement_table(*tx128_pair)
     _check_common(rows, "tx128")
     # Paper: ~9% at 128B -- smaller than the 64KB improvement.
-    big = improvement_table(*tx128_pair)  # same rows; explicit naming
     assert rows["overall"].cycles < 0.2
 
 

@@ -20,6 +20,10 @@ Examples::
     repro-affinity profile --direction rx --size 65536 \\
         --top 20 --out stats.pstats
 
+    # Multi-queue scaling study: RSS vs Flow Director on a shared
+    # 10GbE-class NIC across machine sizes.
+    repro-affinity scale --modes rss,flow-director --queues 8
+
 Results are cached in ``.repro-results/`` (override with
 ``REPRO_RESULTS_DIR``).
 """
@@ -39,9 +43,17 @@ from repro.core.parallel import SweepRunner, default_jobs
 from repro.core.report import (
     render_figure3,
     render_figure4,
+    render_scale_table,
     render_table1,
     render_table3,
     render_trace_crosscheck,
+)
+from repro.core.scale import (
+    SCALE_CPUS,
+    SCALE_MODES,
+    SCALE_SIZES,
+    run_scale_sweep,
+    scaling_efficiency,
 )
 from repro.trace import (
     LatencyStats,
@@ -71,6 +83,11 @@ def _add_common(parser):
                         default="ttcp",
                         help="application driving the stack")
     parser.add_argument(
+        "--queues", type=int, default=1,
+        help="hardware RX queues; >1 builds one shared multi-queue "
+             "10GbE-class NIC (RSS/Flow Director) instead of one "
+             "single-vector NIC per connection")
+    parser.add_argument(
         "--faults", metavar="SPEC", default=None,
         help="inject deterministic wire/NIC/IRQ faults, e.g. "
              "'loss=0.01' or 'reorder=0.005,depth=4,irq=0.1' "
@@ -91,6 +108,7 @@ def _config(args, affinity):
         workload=getattr(args, "workload", "ttcp"),
         faults=getattr(args, "faults", None),
         trace=getattr(args, "trace", None),
+        n_queues=getattr(args, "queues", 1),
     )
 
 
@@ -124,11 +142,25 @@ def cmd_run(args):
                  faults["irqs_delayed"], faults["rto_fires"],
                  faults["fast_retransmits"], faults["dup_acks"],
                  faults["peer_retransmits"], faults["reorder_depth_peak"]))
+    steering = result.to_dict().get("steering")
+    if steering:
+        print("steering: %d queues (fd=%s) rx=%s | fd-samples=%d "
+              "fd-retargets=%d reorder-peak=%d dup-acks=%d peer-rexmit=%d"
+              % (steering["n_queues"],
+                 "on" if steering["flow_director"] else "off",
+                 steering["rx_steered"], steering["fd_samples"],
+                 steering["fd_retargets"], steering["reorder_depth_peak"],
+                 steering["dup_acks_out"], steering["peer_retransmits"]))
     return 0
 
 
 def cmd_compare(args):
     modes = EXTENDED_MODES if args.extended else AFFINITY_MODES
+    if getattr(args, "queues", 1) <= 1:
+        # Flow Director needs a multi-queue NIC; on a single-queue
+        # stack apply_affinity raises, so drop it rather than abort
+        # the whole comparison.
+        modes = tuple(m for m in modes if m != "flow-director")
     print("%-6s %10s %10s %8s" % ("mode", "Mb/s", "GHz/Gbps", "util"))
     baseline = None
     for mode in modes:
@@ -170,6 +202,52 @@ def cmd_sweep(args):
     print(render_figure4(sweep, sizes, AFFINITY_MODES, args.direction))
     if not runner.report.ok:
         print("[repro] sweep incomplete: %s" % runner.report.summary(),
+              file=sys.stderr)
+        return 3
+    return 0
+
+
+def cmd_scale(args):
+    cache = None if args.no_cache else DEFAULT_CACHE
+    cpus = tuple(args.cpus_list)
+    sizes = tuple(args.sizes)
+    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    for mode in modes:
+        if mode not in SCALE_MODES:
+            print("[repro] unknown steering mode %r (choose from %s)"
+                  % (mode, ", ".join(SCALE_MODES)), file=sys.stderr)
+            return 2
+    runner = SweepRunner(
+        jobs=args.jobs if args.jobs > 0 else default_jobs(),
+        cache=cache,
+        progress=lambda msg: print("[repro] %s" % msg, file=sys.stderr),
+        timeout=args.cell_timeout,
+        retries=args.retries,
+    )
+    sweep = run_scale_sweep(
+        args.direction,
+        cpus=cpus,
+        sizes=sizes,
+        modes=modes,
+        n_queues=args.queues,
+        n_connections=args.connections,
+        runner=runner,
+        warmup_ms=args.warmup_ms,
+        measure_ms=args.measure_ms,
+        seed=args.seed,
+    )
+    print(render_scale_table(sweep, cpus, sizes, modes,
+                             args.direction, args.queues))
+    for mode in modes:
+        eff = scaling_efficiency(sweep, sizes, cpus, mode)
+        for size in sizes:
+            cells = " ".join(
+                "--" if e is None else "%.2f" % e for e in eff[size]
+            )
+            print("scaling efficiency %-13s %6dB: %s"
+                  % (mode, size, cells))
+    if not runner.report.ok:
+        print("[repro] scale sweep incomplete: %s" % runner.report.summary(),
               file=sys.stderr)
         return 3
     return 0
@@ -265,13 +343,15 @@ def build_parser():
 
     p_run = sub.add_parser("run", help="run one experiment")
     _add_common(p_run)
-    p_run.add_argument("--affinity", choices=AFFINITY_MODES, default="none")
+    p_run.add_argument("--affinity", choices=EXTENDED_MODES, default="none")
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare all affinity modes")
     _add_common(p_cmp)
     p_cmp.add_argument("--extended", action="store_true",
-                       help="include the rotate/rss extension modes")
+                       help="include the rotate/rss/flow-director "
+                            "extension modes (flow-director needs "
+                            "--queues > 1)")
     p_cmp.set_defaults(func=cmd_compare)
 
     p_sweep = sub.add_parser(
@@ -293,6 +373,46 @@ def build_parser():
         help="same-seed re-runs granted to a failing cell before it "
              "is quarantined (default 1)")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_scale = sub.add_parser(
+        "scale",
+        help="multi-queue scaling study: CPUs x sizes x steering modes",
+    )
+    p_scale.add_argument("--direction", choices=("tx", "rx"), default="rx")
+    p_scale.add_argument(
+        "--cpus", type=int, nargs="+", dest="cpus_list",
+        default=list(SCALE_CPUS),
+        help="machine sizes to sweep (default: %s)"
+             % " ".join(str(c) for c in SCALE_CPUS))
+    p_scale.add_argument("--sizes", type=int, nargs="+",
+                         default=list(SCALE_SIZES))
+    p_scale.add_argument(
+        "--modes", default=",".join(SCALE_MODES),
+        help="comma-separated steering modes (default: %s)"
+             % ",".join(SCALE_MODES))
+    p_scale.add_argument(
+        "--queues", type=int, default=8,
+        help="hardware RX queues on the shared 10GbE-class NIC")
+    p_scale.add_argument(
+        "--connections", type=int, default=16,
+        help="flows; keep above --queues so flows share queues and "
+             "Flow Director retargets can race")
+    p_scale.add_argument("--seed", type=int, default=7)
+    p_scale.add_argument("--warmup-ms", type=int, default=2)
+    p_scale.add_argument("--measure-ms", type=int, default=3)
+    p_scale.add_argument("--no-cache", action="store_true",
+                         help="always re-run, ignore cached results")
+    p_scale.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes (1 = serial; 0 = one per CPU / "
+             "$REPRO_JOBS)")
+    p_scale.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock watchdog per cell")
+    p_scale.add_argument(
+        "--retries", type=int, default=1,
+        help="same-seed re-runs granted to a failing cell (default 1)")
+    p_scale.set_defaults(func=cmd_scale)
 
     p_trace = sub.add_parser(
         "trace", help="trace one run; print analyses, export for "

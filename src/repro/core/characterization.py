@@ -13,7 +13,6 @@ from repro.cpu.events import (
     INSTRUCTIONS,
     LLC_MISSES,
 )
-from repro.cpu.function import BINS
 
 #: Table rows in the paper's order.
 STACK_BINS = ("interface", "engine", "buf_mgmt", "copies", "driver",

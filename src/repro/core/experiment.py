@@ -20,7 +20,7 @@ import tempfile
 from repro.apps.iscsi import IscsiTargetWorkload
 from repro.apps.ttcp import TtcpWorkload
 from repro.apps.webserve import WebServerWorkload
-from repro.cpu.events import CYCLES, EVENT_NAMES, N_EVENTS
+from repro.cpu.events import N_EVENTS
 from repro.cpu.function import BINS
 from repro.cpu.params import CostModel
 from repro.kernel.machine import Machine
@@ -55,6 +55,7 @@ class ExperimentConfig:
         workload="ttcp",
         faults=None,
         trace=None,
+        n_queues=1,
     ):
         """``cost_overrides`` maps CostModel attribute names to values
         (e.g. ``{"c2c_transfer": 600}``), for sensitivity studies.
@@ -74,11 +75,19 @@ class ExperimentConfig:
         options), an int (ring capacity), or a dict of TraceOptions
         fields.  ``None`` (the default) keeps tracing off with zero
         overhead -- and, like ``faults``, keeps pre-existing cache
-        keys unchanged."""
+        keys unchanged.
+
+        ``n_queues > 1`` builds the stack on one shared multi-queue
+        NIC (RSS/Flow Director steering) instead of one single-vector
+        NIC per connection; see :class:`~repro.net.stack.NetworkStack`.
+        The default of 1 is omitted from the cache key, so existing
+        keys are unchanged."""
         if direction not in ("tx", "rx"):
             raise ValueError("direction must be 'tx' or 'rx'")
         if workload not in ("ttcp", "iscsi", "web"):
             raise ValueError("unknown workload %r" % workload)
+        if n_queues < 1:
+            raise ValueError("n_queues must be >= 1, got %r" % n_queues)
         self.workload = workload
         self.direction = direction
         self.message_size = message_size
@@ -91,6 +100,7 @@ class ExperimentConfig:
         self.cost_overrides = dict(cost_overrides or {})
         self.faults = FaultPlan.coerce(faults)
         self.trace = TraceOptions.coerce(trace)
+        self.n_queues = n_queues
 
     def to_dict(self):
         d = dict(
@@ -114,6 +124,10 @@ class ExperimentConfig:
         # bypass the result cache entirely (see run_experiment).
         if self.trace is not None:
             d["trace"] = self.trace.to_dict()
+        # Omit-when-default, like faults/trace: single-queue configs
+        # keep their pre-multi-queue cache keys.
+        if self.n_queues != 1:
+            d["n_queues"] = self.n_queues
         return d
 
     def key(self):
@@ -128,6 +142,8 @@ class ExperimentConfig:
         )
         if self.faults is not None:
             base += "+faults"
+        if self.n_queues != 1:
+            base += "+%dq" % self.n_queues
         return base
 
     def __repr__(self):
@@ -171,13 +187,16 @@ class ExperimentResult:
                 hold_cycles=lock.total_hold_cycles,
             )
         for nic in stack.nics:
-            lock = nic.tx_lock
-            locks[lock.name] = dict(
-                acquisitions=lock.acquisitions,
-                contended=lock.contended_acquisitions,
-                spin_cycles=lock.total_spin_cycles,
-                hold_cycles=lock.total_hold_cycles,
-            )
+            nic_locks = [nic.tx_lock]
+            if nic.rxqs is not None:
+                nic_locks = [rxq.tx_lock for rxq in nic.rxqs]
+            for lock in nic_locks:
+                locks[lock.name] = dict(
+                    acquisitions=lock.acquisitions,
+                    contended=lock.contended_acquisitions,
+                    spin_cycles=lock.total_spin_cycles,
+                    hold_cycles=lock.total_hold_cycles,
+                )
 
         data = dict(
             config=config.to_dict(),
@@ -236,6 +255,31 @@ class ExperimentResult:
                 sut_ooo_segments=sum(s.ooo_segs_in for s in socks),
                 sut_dup_segments=sum(s.dup_segs_in for s in socks),
                 irqs_delayed=sum(n.irqs_delayed for n in stack.nics),
+            )
+        # Multi-queue steering block: gated the same way as "faults"
+        # so single-queue payloads (and their hashes) are unchanged.
+        if getattr(stack, "n_queues", 1) > 1:
+            nic = stack.nics[0]
+            steering = nic.steering
+            fd = steering.flow_director
+            socks = [c.sock for c in stack.connections]
+            peers = [c.peer for c in stack.connections]
+            data["steering"] = dict(
+                n_queues=stack.n_queues,
+                flow_director=steering.fd_enabled,
+                rx_steered=[q.frames_steered for q in nic.rxqs],
+                queue_irqs=[q.irqs_fired for q in nic.rxqs],
+                fd_samples=fd.samples,
+                fd_retargets=fd.retargets,
+                reorder_depth_peak=max(
+                    [s.ooo_peak for s in socks]
+                    + [p.reorder_depth_peak for p in peers]
+                ),
+                sut_ooo_segments=sum(s.ooo_segs_in for s in socks),
+                sut_dup_segments=sum(s.dup_segs_in for s in socks),
+                dup_acks_out=sum(s.dup_acks_out for s in socks),
+                peer_dup_acks_seen=sum(p.dup_acks_seen for p in peers),
+                peer_retransmits=sum(p.retransmits for p in peers),
             )
         return cls(data)
 
@@ -384,16 +428,23 @@ def run_experiment(config, cache=None, progress=None):
         "web": "web",
     }[config.workload]
     plan = config.faults
+    net_kwargs = {}
     if plan is not None and plan.rto_ms is not None:
-        net_params = NetParams(rto_ms=plan.rto_ms)
-    else:
-        net_params = NetParams()
+        net_kwargs["rto_ms"] = plan.rto_ms
+    if config.n_queues > 1:
+        # A multi-queue NIC is a 10GbE-class device (RSS and Flow
+        # Director shipped with 10GbE): modelling it at 1 Gb/s would
+        # saturate the wire on a single CPU and make the scaling
+        # question -- the whole point of multiple queues -- vacuous.
+        net_kwargs["wire_gbps"] = 10.0
+    net_params = NetParams(**net_kwargs)
     stack = NetworkStack(
         machine,
         net_params,
         n_connections=config.n_connections,
         mode=stack_mode,
         message_size=config.message_size,
+        n_queues=config.n_queues,
     )
     if plan is not None and plan.enabled:
         FaultInjector(machine, plan).attach(stack)

@@ -13,7 +13,7 @@ This module reproduces both halves: the static implementation (as
 modelled in :mod:`repro.kernel.locks`) and the dynamic comparison.
 """
 
-from repro.cpu.events import BRANCHES, BR_MISPREDICTS, CYCLES, INSTRUCTIONS
+from repro.cpu.events import BRANCHES, BR_MISPREDICTS, INSTRUCTIONS
 
 #: The paper's Table 2, as structured data (address, instruction,
 #: comment), matching the modelled cost constants in kernel.locks.

@@ -13,21 +13,54 @@ mode      processes                   interrupts
 Pinning follows the paper's layout: with 8 connections on 2 CPUs,
 connections 1-4 belong to CPU0 and 5-8 to CPU1, and in ``full`` mode
 each process shares a CPU with its own NIC's interrupt.
+
+Extension modes (``EXTENDED_MODES``) model what came after the paper:
+
+``rotate``
+    The Linux-2.6 rotating interrupt distribution its related-work
+    section describes.
+``rss``
+    On a single-queue stack, the software flow-steering controller
+    (:class:`repro.net.rss.RssSteering`).  On a multi-queue stack
+    (``n_queues > 1``), hardware receive-side scaling: the Toeplitz
+    indirection table statically spreads flows across queues, each
+    queue's MSI-X vector pinned to one physical core.
+``flow-director``
+    Multi-queue only: RSS plus the Intel ATR exact-match table that
+    chases each flow's transmitting CPU -- the adaptive mode whose
+    stale-filter races cause measurable packet reordering.
 """
 
 AFFINITY_MODES = ("none", "proc", "irq", "full")
 
-#: Extension modes beyond the paper's four (see apply_affinity):
-#: ``rotate`` -- the Linux-2.6 rotating interrupt distribution the
-#: paper's related-work section describes; ``rss`` -- the dynamic
-#: flow-steering NICs its conclusion anticipates.
-EXTENDED_MODES = AFFINITY_MODES + ("rotate", "rss")
+#: Extension modes beyond the paper's four (see apply_affinity and the
+#: module docstring): ``rotate``, ``rss``, and the multi-queue-only
+#: ``flow-director``.
+EXTENDED_MODES = AFFINITY_MODES + ("rotate", "rss", "flow-director")
 
 
 def pin_plan(n_items, n_cpus):
     """Block-partition ``n_items`` across ``n_cpus`` (paper layout)."""
     per_cpu = -(-n_items // n_cpus)
     return [min(i // per_cpu, n_cpus - 1) for i in range(n_items)]
+
+
+def spread_queue_irqs(machine, vectors):
+    """Pin each RX queue's vector to its own physical core.
+
+    Queue *q* goes to core representative ``q % n_cores`` -- the
+    irqbalance-style static spread real multi-queue drivers request.
+    Under hyperthreading the representatives are the first sibling of
+    each core (see :meth:`Machine.core_representatives`), never the
+    second.
+    """
+    reps = machine.core_representatives()
+    assignment = {}
+    for q, vector in enumerate(vectors):
+        cpu = reps[q % len(reps)]
+        machine.ioapic.get(vector).set_affinity(1 << cpu)
+        assignment[vector] = cpu
+    return assignment
 
 
 def apply_affinity(machine, stack, tasks, mode):
@@ -55,8 +88,21 @@ def apply_affinity(machine, stack, tasks, mode):
         applied["controller"] = IrqRotator(
             machine, [nic.vector for nic in stack.nics]
         )
-    if mode == "rss":
-        from repro.net.rss import RssSteering
+    if mode in ("rss", "flow-director"):
+        multiqueue = getattr(stack, "n_queues", 1) > 1
+        if multiqueue:
+            nic = stack.nics[0]
+            applied["irq"] = spread_queue_irqs(
+                machine, [rxq.vector for rxq in nic.rxqs]
+            )
+            if mode == "flow-director":
+                nic.steering.enable_flow_director()
+        elif mode == "flow-director":
+            raise ValueError(
+                "flow-director requires a multi-queue NIC (n_queues > 1)"
+            )
+        else:
+            from repro.net.rss import RssSteering
 
-        applied["controller"] = RssSteering(machine, stack, tasks)
+            applied["controller"] = RssSteering(machine, stack, tasks)
     return applied

@@ -293,6 +293,69 @@ def render_trace_crosscheck(result, label):
     return "\n".join(lines)
 
 
+def render_scale_table(sweep, cpus, sizes, modes, direction, n_queues):
+    """The multi-queue scaling study's three tables.
+
+    Throughput and GHz/Gbps cost per (n_cpus, size, mode), then the
+    reordering table -- reorder-depth peak, SUT duplicate ACKs, peer
+    spurious retransmits and Flow Director retargets -- which is the
+    measurable difference between static RSS (always zero) and the
+    adaptive Flow Director (non-zero whenever consumers migrate).
+    Failed (``None``) cells render as ``FAIL``/``--``.
+    """
+    blocks = []
+    tput = TextTable(
+        ["cpus"] + ["%s %d" % (m, s) for s in sizes for m in modes],
+        title="Scale (%s, %d queues): throughput Mb/s"
+        % (direction.upper(), n_queues),
+    )
+    cost = TextTable(
+        ["cpus"] + ["%s %d" % (m, s) for s in sizes for m in modes],
+        title="Scale (%s, %d queues): cost GHz/Gbps"
+        % (direction.upper(), n_queues),
+    )
+    for n_cpus in cpus:
+        tput_row, cost_row = [str(n_cpus)], [str(n_cpus)]
+        for size in sizes:
+            for mode in modes:
+                r = sweep.get((n_cpus, size, mode))
+                tput_row.append(
+                    "FAIL" if r is None else "%.0f" % r.throughput_mbps
+                )
+                cost_row.append(
+                    "FAIL" if r is None else "%.2f" % r.cost_ghz_per_gbps
+                )
+        tput.add_row(*tput_row)
+        cost.add_row(*cost_row)
+    blocks.append(tput.render())
+    blocks.append(cost.render())
+
+    reorder = TextTable(
+        ["cpus", "size", "mode", "reorder", "dupACK", "peer rexmit",
+         "fd retargets"],
+        title="Scale (%s, %d queues): steering-induced reordering"
+        % (direction.upper(), n_queues),
+    )
+    for n_cpus in cpus:
+        for size in sizes:
+            for mode in modes:
+                r = sweep.get((n_cpus, size, mode))
+                if r is None:
+                    reorder.add_row(str(n_cpus), str(size), mode,
+                                    "--", "--", "--", "--")
+                    continue
+                s = r["steering"]
+                reorder.add_row(
+                    str(n_cpus), str(size), mode,
+                    str(s["reorder_depth_peak"]),
+                    str(s["dup_acks_out"]),
+                    str(s["peer_retransmits"]),
+                    str(s["fd_retargets"]),
+                )
+    blocks.append(reorder.render())
+    return "\n\n".join(blocks)
+
+
 def render_run_summary(result):
     """One-line experiment summary."""
     return result.summary()

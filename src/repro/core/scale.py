@@ -1,0 +1,105 @@
+"""Multi-queue scaling study: CPUs x sizes x steering modes.
+
+The paper's four affinity modes answer "who owns a flow's interrupt
+and protocol work?" by configuration; RSS and Flow Director answer it
+in hardware.  ``run_scale_sweep`` runs the follow-on experiment: one
+shared 10GbE-class multi-queue NIC, ``n_cpus`` swept across machine
+sizes, flows steered by static RSS or by the adaptive Flow Director
+-- and reports throughput, GHz/Gbps cost, and the reordering the
+adaptive mode's stale-filter races inject (Wu et al., "Why Does Flow
+Director Cause Packet Reordering?").
+
+Connection count deliberately exceeds the queue count: flows must
+share queues for consumer migrations (and hence filter retargets) to
+happen at all, which is also the regime real servers run in.
+"""
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+
+#: Machine sizes the study sweeps (the tentpole's n_cpus axis).
+SCALE_CPUS = (2, 4, 8, 16)
+
+#: Transaction sizes: small / paper-middle / large.
+SCALE_SIZES = (4096, 16384, 65536)
+
+#: The two hardware steering modes under study.
+SCALE_MODES = ("rss", "flow-director")
+
+
+def run_scale_sweep(
+    direction="rx",
+    cpus=SCALE_CPUS,
+    sizes=SCALE_SIZES,
+    modes=SCALE_MODES,
+    n_queues=8,
+    n_connections=16,
+    cache=None,
+    progress=None,
+    jobs=None,
+    runner=None,
+    **config_kwargs
+):
+    """Run the (n_cpus x size x mode) multi-queue grid.
+
+    Mirrors :func:`repro.core.metrics.run_size_sweep`: ``jobs`` > 1
+    shards across a :class:`~repro.core.parallel.SweepRunner`;
+    ``runner`` supplies a pre-built one (per-cell timeout/retries,
+    ``runner.report`` afterwards), and cells that failed despite
+    retries map to ``None``.
+
+    Returns ``{(n_cpus, size, mode): ExperimentResult}``.
+    """
+    cells = [
+        (n_cpus, size, mode)
+        for n_cpus in cpus for size in sizes for mode in modes
+    ]
+    configs = [
+        ExperimentConfig(
+            direction=direction,
+            message_size=size,
+            affinity=mode,
+            n_cpus=n_cpus,
+            n_queues=n_queues,
+            n_connections=n_connections,
+            **config_kwargs
+        )
+        for n_cpus, size, mode in cells
+    ]
+    if runner is not None:
+        flat = runner.run(configs)
+    elif jobs is not None and jobs != 1:
+        from repro.core.parallel import SweepRunner
+
+        runner = SweepRunner(jobs=jobs, cache=cache, progress=progress)
+        flat = runner.run(configs)
+    else:
+        flat = [
+            run_experiment(config, cache=cache, progress=progress)
+            for config in configs
+        ]
+    return dict(zip(cells, flat))
+
+
+def scaling_efficiency(sweep, sizes, cpus, mode):
+    """Per-size speedup-per-CPU relative to the smallest machine.
+
+    ``{size: [throughput(n)/throughput(cpus[0]) / (n/cpus[0])]}`` --
+    1.0 is perfect linear scaling, values sag as the wire saturates or
+    steering overheads bite.  ``None`` entries mark failed cells.
+    """
+    out = {}
+    base_cpus = cpus[0]
+    for size in sizes:
+        base = sweep.get((base_cpus, size, mode))
+        row = []
+        for n in cpus:
+            r = sweep.get((n, size, mode))
+            if r is None or base is None or base.throughput_gbps <= 0:
+                row.append(None)
+            else:
+                row.append(
+                    (r.throughput_gbps / base.throughput_gbps)
+                    / (n / float(base_cpus))
+                )
+        out[size] = row
+    return out

@@ -130,12 +130,19 @@ class IrqRotator:
             return
         machine = self.machine
         self.rotations += 1
+        # Draw over *physical cores*, not logical CPUs: with
+        # hyperthreading, randrange(machine.n_cpus) would land half of
+        # all rotations on the second sibling thread of a core, which
+        # shares every cache with its partner and gains nothing while
+        # contending for the core.  Non-HT machines see the identical
+        # RNG draw sequence (len(reps) == n_cpus).
+        reps = machine.core_representatives()
         if self.per_line:
             for vector in self.vectors:
-                cpu = self._rng.randrange(machine.n_cpus)
+                cpu = reps[self._rng.randrange(len(reps))]
                 machine.ioapic.get(vector).set_affinity(1 << cpu)
         else:
-            cpu = self._rng.randrange(machine.n_cpus)
+            cpu = reps[self._rng.randrange(len(reps))]
             for vector in self.vectors:
                 machine.ioapic.get(vector).set_affinity(1 << cpu)
         self._pending = machine.engine.schedule_after(

@@ -263,6 +263,27 @@ class Machine:
         if moved_to is not None:
             self._kick(moved_to)
 
+    def core_representatives(self):
+        """One logical CPU per physical core (the first sibling).
+
+        Interrupt steering policies draw targets from this list so
+        that, under hyperthreading, an IRQ never lands on the second
+        sibling of a core -- the two siblings share every cache level,
+        so the second adds no locality and only contends for the
+        core's execution resources.  Without SMT this is simply every
+        CPU, so non-HT behaviour (including RNG draw sequences keyed
+        to ``randrange(len(...))``) is unchanged.
+        """
+        if self.hyperthreading:
+            return list(range(0, self.n_cpus, 2))
+        return list(range(self.n_cpus))
+
+    def core_first(self, cpu_index):
+        """The first logical CPU of ``cpu_index``'s physical core."""
+        if self.hyperthreading:
+            return cpu_index - (cpu_index % 2)
+        return cpu_index
+
     def register_irq(self, line):
         """Register a device interrupt line with the IO-APIC."""
         self.ioapic.register(line)

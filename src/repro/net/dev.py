@@ -17,7 +17,8 @@ from repro.net.params import base_instructions
 def dev_queue_xmit(ctx, stack, nic, skb, packet):
     """Queue a frame to the NIC: lock, descriptor fill, doorbell."""
     specs = stack.specs
-    yield ("spin", nic.tx_lock)
+    tx_lock = nic.tx_lock_for(packet.conn_id)
+    yield ("spin", tx_lock)
     ctx.charge(
         specs["dev_queue_xmit"],
         base_instructions("dev_queue_xmit"),
@@ -35,7 +36,13 @@ def dev_queue_xmit(ctx, stack, nic, skb, packet):
         extra_cycles=250,
     )
     nic.hw_xmit(skb, packet, ctx.now)
-    ctx.unlock(nic.tx_lock)
+    # Flow Director ATR sampling: the NIC inspects outgoing frames and
+    # (every Nth per flow) retargets the flow's RX queue toward the
+    # transmitting CPU.  ``steering`` is None on single-queue devices.
+    steering = nic.steering
+    if steering is not None:
+        steering.sample_tx(packet.conn_id, ctx.cpu_index)
+    ctx.unlock(tx_lock)
 
 
 class SoftnetData:

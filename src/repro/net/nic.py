@@ -16,6 +16,16 @@ to the paper:
 * **Wire serialization**: each direction is a 1 Gb/s pipe; frames
   queue behind each other.  The CPU, not the wire, is the bottleneck
   in every experiment, as in the paper.
+
+Built with ``n_queues > 1`` the port becomes a multi-queue device of
+the RSS/Flow Director generation: N hardware receive queues, each
+with its own MSI-X-style vector and its own coalescing state, fed by
+a :class:`~repro.net.rss.NicSteering` classifier.  Because each queue
+latches, coalesces and fires independently, two frames of one flow
+split across queues by a Flow Director retarget can be claimed out of
+order -- the reordering race this extension exists to measure.  The
+single-queue construction is byte-for-byte the legacy device: no
+extra allocations, no extra events, identical results.
 """
 
 from repro.net.packet import HEADER_WIRE_BYTES
@@ -25,10 +35,123 @@ RX_DESC_BYTES = 16
 RING_ENTRIES = 256
 
 
-class Nic:
-    """One port: two rings, one IRQ line, a full-duplex wire."""
+class RxQueue:
+    """One hardware receive queue: ring, completions, MSI-X vector.
 
-    def __init__(self, machine, index, vector, params):
+    Owns the same latch-coalesce-fire state machine the single-queue
+    device runs, but per queue: frames steered here wait on *this*
+    queue's frame/time thresholds and interrupt through *this* queue's
+    vector.  Transmit completions are also signalled on the queue
+    serving the flow, as MSI-X NICs pair TX completion vectors with
+    their RX counterparts.
+    """
+
+    def __init__(self, nic, qid, vector):
+        self.nic = nic
+        self.qid = qid
+        self.vector = vector
+        # Queue 0 owns the device's legacy ring allocation; extra
+        # queues allocate their own descriptor rings.
+        if qid == 0:
+            self.ring = nic.rx_ring
+        else:
+            self.ring = nic.machine.space.alloc(
+                "%s:rxq%d_ring" % (nic.name, qid),
+                RING_ENTRIES * RX_DESC_BYTES,
+            )
+        # Paired TX queue lock: multi-queue NICs give each vector its
+        # own TX ring, so transmitters on different queues never
+        # contend (one shared lock across 16 CPUs melts down the
+        # moment a holder is preempted).
+        self.tx_lock = nic.machine.new_lock(
+            "tx_lock:%s:q%d" % (nic.name, qid)
+        )
+        self._rx_head = 0
+        self.rx_posted = []
+        self.rx_pending = []
+        self.tx_done = []
+        self._irq_latched = False
+        self._coalesce_timer = None
+        # Statistics (windowed; see reset_stats).
+        self.frames_steered = 0
+        self.irqs_fired = 0
+
+    def next_rx_desc(self):
+        idx = self._rx_head % RING_ENTRIES
+        self._rx_head += 1
+        return self.ring.field(idx * RX_DESC_BYTES, RX_DESC_BYTES)
+
+    def post_rx(self, skb):
+        """Driver posts a buffer for receive DMA on this queue."""
+        self.rx_posted.append(skb)
+
+    def rx_posted_deficit(self):
+        return self.nic.params.rx_ring_size - len(self.rx_posted)
+
+    # -- latch / coalesce / fire (per queue) ---------------------------
+
+    def _signal(self):
+        nic = self.nic
+        if self._irq_latched:
+            return
+        pending = len(self.rx_pending) + len(self.tx_done)
+        if pending >= nic.params.coalesce_frames:
+            self._fire()
+        elif self._coalesce_timer is None:
+            self._coalesce_timer = nic.engine.schedule_after(
+                nic.params.coalesce_cycles, self._coalesce_timeout,
+                label="%s.q%d itr" % (nic.name, self.qid),
+            )
+
+    def _coalesce_timeout(self):
+        self._coalesce_timer = None
+        if not self._irq_latched and (self.rx_pending or self.tx_done):
+            self._fire()
+
+    def _fire(self):
+        nic = self.nic
+        self._irq_latched = True
+        if self._coalesce_timer is not None:
+            self._coalesce_timer.cancel()
+            self._coalesce_timer = None
+        self.irqs_fired += 1
+        nic.irqs_fired += 1
+        if nic.faults is not None:
+            delay = nic.faults.irq_delay_cycles(nic)
+            if delay > 0:
+                nic.irqs_delayed += 1
+                nic.engine.schedule_after(
+                    delay,
+                    lambda: nic.machine.raise_irq(self.vector),
+                    label="%s.q%d irq-delay" % (nic.name, self.qid),
+                )
+                return
+        nic.machine.raise_irq(self.vector)
+
+    def claim(self):
+        """Top half reads this queue's cause register: pop completions."""
+        self._irq_latched = False
+        tx_done, self.tx_done = self.tx_done, []
+        rx_pending, self.rx_pending = self.rx_pending, []
+        if self.rx_pending or self.tx_done:
+            self._signal()
+        return tx_done, rx_pending
+
+    def reset_stats(self):
+        self.frames_steered = 0
+        self.irqs_fired = 0
+
+
+class Nic:
+    """One port: two rings, one IRQ line, a full-duplex wire.
+
+    ``n_queues > 1`` (with a matching ``queue_vectors`` tuple) builds
+    the multi-queue variant described in the module docstring; the
+    default is the paper's single-vector device.
+    """
+
+    def __init__(self, machine, index, vector, params, n_queues=1,
+                 queue_vectors=None):
         self.machine = machine
         self.engine = machine.engine
         self.index = index
@@ -57,6 +180,26 @@ class Nic:
 
         self._irq_latched = False
         self._coalesce_timer = None
+
+        # Multi-queue receive (None on the legacy single-queue device;
+        # every per-frame path branches on this exactly once).
+        self.n_queues = n_queues
+        self.rxqs = None
+        self.steering = None
+        if n_queues > 1:
+            if queue_vectors is None or len(queue_vectors) != n_queues:
+                raise ValueError(
+                    "n_queues=%d needs %d queue_vectors" % (n_queues, n_queues)
+                )
+            from repro.net.rss import NicSteering
+
+            self.queue_vectors = tuple(queue_vectors)
+            self.rxqs = [
+                RxQueue(self, q, self.queue_vectors[q])
+                for q in range(n_queues)
+            ]
+            self.steering = NicSteering(self, n_queues)
+            self.vector = self.queue_vectors[0]
 
         #: Legacy fault knob: when set to N > 0, every Nth transmitted
         #: frame is lost on the way to the peer (the SUT still sees a
@@ -90,6 +233,18 @@ class Nic:
         self._rx_head += 1
         return self.rx_ring.field(idx * RX_DESC_BYTES, RX_DESC_BYTES)
 
+    def tx_lock_for(self, conn_id):
+        """The transmit lock guarding ``conn_id``'s TX queue.
+
+        Single-queue devices have one TX ring and one lock; multi-queue
+        devices select the TX queue by the same flow hash as receive
+        (the MSI-X pairing), so each queue's transmitters serialize
+        only among themselves.
+        """
+        if self.rxqs is None:
+            return self.tx_lock
+        return self.rxqs[self.steering.rss_queue_for(conn_id)].tx_lock
+
     # ------------------------------------------------------------------
     # Transmit path (driver hands a frame to the hardware).
     # ------------------------------------------------------------------
@@ -113,8 +268,15 @@ class Nic:
         else:
             addr, size = skb.header_range()
         self.machine.memsys.dma_read(addr, size)
-        self.tx_done.append(skb)
-        self._signal()
+        if self.rxqs is None:
+            self.tx_done.append(skb)
+            self._signal()
+        else:
+            # MSI-X pairing: the completion interrupts on the queue
+            # currently serving the flow.
+            rxq = self.rxqs[self.steering.queue_for(packet.conn_id)]
+            rxq.tx_done.append(skb)
+            rxq._signal()
         if (
             self.drop_every_n
             and packet.len > 0
@@ -166,6 +328,9 @@ class Nic:
         )
 
     def _rx_dma(self, packet):
+        if self.rxqs is not None:
+            self._rx_dma_mq(packet)
+            return
         if not self.rx_posted:
             self.rx_drops += 1
             return
@@ -186,6 +351,33 @@ class Nic:
         self.bytes_in += packet.len
         self.rx_pending.append((packet, skb))
         self._signal()
+
+    def _rx_dma_mq(self, packet):
+        """Multi-queue receive: classify, then DMA into that queue."""
+        rxq = self.rxqs[self.steering.queue_for(packet.conn_id)]
+        if not rxq.rx_posted:
+            self.rx_drops += 1
+            return
+        skb = rxq.rx_posted.pop(0)
+        skb.seq = packet.seq
+        skb.end_seq = packet.end_seq
+        skb.len = packet.len
+        skb.consumed = 0
+        skb.is_ack = packet.is_ack
+        skb.sent_at = self.engine.now
+        skb.pkt = packet
+        addr, size = skb.data.field(
+            0, skb.HEADER_BYTES + max(packet.len, HEADER_WIRE_BYTES)
+        )
+        self.machine.memsys.dma_write(addr, size)
+        self.frames_in += 1
+        self.bytes_in += packet.len
+        rxq.frames_steered += 1
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.emit("rx_steer", conn=packet.conn_id, queue=rxq.qid)
+        rxq.rx_pending.append((packet, skb))
+        rxq._signal()
 
     # ------------------------------------------------------------------
     # Interrupt coalescing.
@@ -244,3 +436,7 @@ class Nic:
         self.tx_drops = 0
         self.irqs_fired = 0
         self.irqs_delayed = 0
+        if self.rxqs is not None:
+            for rxq in self.rxqs:
+                rxq.reset_stats()
+            self.steering.reset_stats()

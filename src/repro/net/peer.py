@@ -24,6 +24,26 @@ from repro.net.packet import ack_packet, data_packet
 SINK_FLUSH_CYCLES = 200_000
 
 
+class PeerMux:
+    """Fan-out for a shared multi-queue NIC: one peer per connection.
+
+    A single-queue stack gives every connection its own NIC, so
+    ``nic.peer`` is that connection's :class:`Peer`.  A multi-queue
+    stack shares one NIC between all connections; the mux stands in as
+    ``nic.peer`` and dispatches each transmitted frame to the peer of
+    the flow that sent it.
+    """
+
+    def __init__(self):
+        self.peers = {}
+
+    def register(self, conn_id, peer):
+        self.peers[conn_id] = peer
+
+    def on_frame(self, packet):
+        self.peers[packet.conn_id].on_frame(packet)
+
+
 class Peer:
     """One remote endpoint, bound to one NIC and one connection."""
 

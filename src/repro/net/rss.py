@@ -1,18 +1,210 @@
-"""Receive-side-scaling-style dynamic flow steering.
+"""Receive-side scaling and Flow Director: multi-queue flow steering.
 
 The paper's conclusion looks forward to NICs that "look deeper into
 packets to extract flow information (receive-side scaling) and direct
 connections and interrupts, dynamically, to a specific processor".
-This module implements that vision on the simulated hardware: a
-controller periodically points each connection's interrupt line at the
-CPU its consuming process last ran on, achieving full-affinity-like
-alignment with *no static pinning* -- the process remains free and the
-interrupts follow it.
+This module implements both generations of that vision on the
+simulated hardware:
+
+* :class:`RssSteering` -- the *software* approximation available to a
+  single-vector NIC: a controller periodically points each
+  connection's interrupt line at the CPU its consuming process last
+  ran on, achieving full-affinity-like alignment with no static
+  pinning.  (Used by the ``rss`` affinity mode on single-queue
+  stacks; kept verbatim from the original extension study.)
+
+* :class:`NicSteering` -- *hardware* multi-queue steering for a
+  :class:`~repro.net.nic.Nic` built with ``n_queues > 1``: a Toeplitz
+  hash over the flow's 4-tuple indexes a 128-entry indirection table
+  (receive-side scaling, the Microsoft RSS contract), optionally
+  overridden by a :class:`FlowDirector` exact-match table that
+  retargets a flow's queue toward the CPU last seen transmitting it
+  (Intel's ATR/Flow Director).  The Flow Director path deliberately
+  reproduces the stale-entry race analysed by Wu et al. ("Why Does
+  Flow Director Cause Packet Reordering?"): frames already pending on
+  the flow's old queue are claimed *after* younger frames steered to
+  the new queue, and the receiver sees the inversion as out-of-order
+  segments and duplicate ACKs.
 """
+
+#: The canonical 40-byte Toeplitz hash key from the Microsoft RSS
+#: verification suite.  Any key works for load spreading; using the
+#: reference key lets the implementation be checked against the
+#: published test vectors.
+TOEPLITZ_KEY = bytes((
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2,
+    0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+    0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4,
+    0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+    0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+))
+
+#: Entries in the RSS indirection table (the usual hardware size).
+INDIRECTION_ENTRIES = 128
+
+#: Flow Director samples every Nth transmitted frame of a flow (the
+#: ATR sample rate; ixgbe defaults to 20, we sample more aggressively
+#: so short simulated windows still exercise retargeting).
+FD_SAMPLE_RATE = 8
+
+
+def toeplitz_hash(data, key=TOEPLITZ_KEY):
+    """The Toeplitz hash over ``data`` (bytes), per the RSS contract.
+
+    For every set bit of the input (MSB first) the hash XORs in the
+    32-bit window of the key starting at that bit position.
+    """
+    key_int = int.from_bytes(key, "big")
+    key_bits = len(key) * 8
+    if len(data) * 8 > key_bits - 32:
+        raise ValueError("input too long for a %d-bit key" % key_bits)
+    result = 0
+    for i in range(len(data) * 8):
+        if data[i // 8] & (0x80 >> (i % 8)):
+            result ^= (key_int >> (key_bits - 32 - i)) & 0xFFFFFFFF
+    return result
+
+
+def flow_tuple_bytes(conn_id):
+    """The simulated connection's TCP/IPv4 4-tuple, RSS input order.
+
+    On-wire packets carry only ``conn_id`` (payload bytes live in
+    simulated memory, not Python data), so the classifier synthesizes
+    the 4-tuple the real header would carry: every connection is a
+    distinct client host/port talking to the SUT's service port.
+
+    Ephemeral ports are spread by a Knuth multiplicative hash rather
+    than allocated consecutively: Toeplitz is linear over GF(2), so
+    tuples differing only in a couple of low bit positions can land in
+    congruent indirection slots (all our all-consecutive candidates
+    hit queue 0 with the canonical key) -- and real stacks randomize
+    ephemeral port selection for unrelated reasons anyway.
+    """
+    src_ip = bytes((10, 0, (conn_id // 250) % 250, 1 + conn_id % 250))
+    dst_ip = bytes((10, 0, 1, 1))
+    src_port = 32768 + (conn_id * 2654435761) % 28233
+    dst_port = 5001
+    return (src_ip + dst_ip
+            + src_port.to_bytes(2, "big") + dst_port.to_bytes(2, "big"))
+
+
+class RssIndirection:
+    """The RSS indirection table: hash LSBs -> queue index.
+
+    Initialized to the standard equal-weight round-robin spread; the
+    table itself never changes during a run (re-balancing is a host
+    driver action, out of scope), which is what makes pure-RSS
+    steering a *static* function of the flow tuple.
+    """
+
+    def __init__(self, n_queues, entries=INDIRECTION_ENTRIES):
+        self.table = [i % n_queues for i in range(entries)]
+        self.mask = entries - 1
+
+    def lookup(self, hash_value):
+        return self.table[hash_value & self.mask]
+
+
+class FlowDirector:
+    """Intel ATR-style exact-match flow table (conn_id -> queue).
+
+    The NIC samples transmitted frames: every :data:`FD_SAMPLE_RATE`
+    frames of a flow, the queue serving the *transmitting CPU*
+    (``cpu % n_queues``, the ATR TX-queue selection) is written into
+    the flow's filter.  Receive lookups prefer a filter hit over the
+    RSS indirection table.  Because the update races with frames
+    already accepted on the old queue, a retarget can reorder the
+    flow -- the measurable effect this model exists to surface.
+    """
+
+    def __init__(self, n_queues):
+        self.n_queues = n_queues
+        self.filters = {}
+        self._tx_seen = {}
+        self.samples = 0
+        self.retargets = 0
+
+    def match(self, conn_id):
+        """The filter's queue for ``conn_id``, or ``None`` on a miss."""
+        return self.filters.get(conn_id)
+
+    def sample_tx(self, conn_id, cpu_index):
+        """Observe one transmitted frame; maybe update the filter.
+
+        Returns the new queue on a retarget, else ``None``.
+        """
+        seen = self._tx_seen.get(conn_id, 0) + 1
+        self._tx_seen[conn_id] = seen
+        if seen % FD_SAMPLE_RATE != 0:
+            return None
+        self.samples += 1
+        queue = cpu_index % self.n_queues
+        if self.filters.get(conn_id) == queue:
+            return None
+        self.filters[conn_id] = queue
+        self.retargets += 1
+        return queue
+
+    def reset_stats(self):
+        self.samples = 0
+        self.retargets = 0
+
+
+class NicSteering:
+    """Per-NIC receive steering: RSS indirection + optional FD table."""
+
+    def __init__(self, nic, n_queues):
+        self.nic = nic
+        self.n_queues = n_queues
+        self.indirection = RssIndirection(n_queues)
+        self.flow_director = FlowDirector(n_queues)
+        self.fd_enabled = False
+        #: Per-flow Toeplitz results; the hash is a pure function of
+        #: the 4-tuple, so memoizing it is behaviour-neutral.
+        self._hash_cache = {}
+        self.rx_lookups = 0
+
+    def enable_flow_director(self):
+        self.fd_enabled = True
+
+    def hash_for(self, conn_id):
+        cached = self._hash_cache.get(conn_id)
+        if cached is None:
+            cached = toeplitz_hash(flow_tuple_bytes(conn_id))
+            self._hash_cache[conn_id] = cached
+        return cached
+
+    def rss_queue_for(self, conn_id):
+        """The static RSS queue (indirection table on the 4-tuple)."""
+        return self.indirection.lookup(self.hash_for(conn_id))
+
+    def queue_for(self, conn_id):
+        """The queue the NIC steers ``conn_id`` to right now."""
+        self.rx_lookups += 1
+        if self.fd_enabled:
+            queue = self.flow_director.match(conn_id)
+            if queue is not None:
+                return queue
+        return self.rss_queue_for(conn_id)
+
+    def sample_tx(self, conn_id, cpu_index):
+        """TX-path hook (``dev_queue_xmit``): feed the ATR sampler."""
+        if not self.fd_enabled:
+            return
+        queue = self.flow_director.sample_tx(conn_id, cpu_index)
+        if queue is not None:
+            tracer = self.nic.machine.tracer
+            if tracer is not None:
+                tracer.emit("fd_retarget", cpu=cpu_index,
+                            conn=conn_id, queue=queue)
+
+    def reset_stats(self):
+        self.rx_lookups = 0
+        self.flow_director.reset_stats()
 
 
 class RssSteering:
-    """Dynamic per-flow interrupt steering."""
+    """Dynamic per-flow interrupt steering (single-queue software RSS)."""
 
     def __init__(self, machine, stack, tasks, interval_cycles=2_000_000):
         if len(tasks) != len(stack.connections):
@@ -31,6 +223,20 @@ class RssSteering:
             interval_cycles, self._steer, label="rss steer"
         )
 
+    def _target_cpu(self, task):
+        """The CPU to point the flow's interrupt at.
+
+        With hyperthreading, interrupts are steered to the *physical
+        core* (its first logical CPU) rather than whichever sibling
+        the task last occupied: landing the IRQ on the sibling thread
+        keeps the shared caches warm without contending for the exact
+        logical processor the task runs on.  Without SMT this is the
+        identity function.
+        """
+        if self.machine.hyperthreading:
+            return self.machine.core_first(task.prev_cpu)
+        return task.prev_cpu
+
     def _steer(self):
         if self._stopped:
             return
@@ -38,7 +244,7 @@ class RssSteering:
         self.updates += 1
         for conn, task in zip(self.stack.connections, self.tasks):
             line = machine.ioapic.get(conn.nic.vector)
-            target_mask = 1 << task.prev_cpu
+            target_mask = 1 << self._target_cpu(task)
             if line.smp_affinity != target_mask:
                 line.set_affinity(target_mask)
                 self.retargets += 1
@@ -69,6 +275,6 @@ class RssSteering:
         aligned = 0
         for conn, task in zip(self.stack.connections, self.tasks):
             line = self.machine.ioapic.get(conn.nic.vector)
-            if line.smp_affinity == 1 << task.prev_cpu:
+            if line.smp_affinity == 1 << self._target_cpu(task):
                 aligned += 1
         return aligned / float(len(self.tasks))

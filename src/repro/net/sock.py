@@ -76,6 +76,10 @@ class Sock:
         self.dup_segs_in = 0
         self.ooo_drops = 0
         self.ooo_peak = 0
+        #: ACKs sent from the duplicate/gap arms of tcp_rcv_established
+        #: -- duplicate ACKs on the wire, the receiver-side signature
+        #: of reordering (always zero on a loss-free single-queue run).
+        self.dup_acks_out = 0
         self.rmem_queued = 0
         self.last_window_advertised = params.max_window
         self.segs_since_ack = 0

@@ -13,7 +13,7 @@ from repro.net.copies import charge_rx_copy
 from repro.net.dev import SoftnetData
 from repro.net.nic import Nic
 from repro.net.params import NetParams, base_instructions, register_profiles
-from repro.net.peer import Peer
+from repro.net.peer import Peer, PeerMux
 from repro.net.skbuff import SkbPools
 from repro.net.sock import Sock
 from repro.net.tcp_input import net_rx_action, process_segment
@@ -21,6 +21,11 @@ from repro.net.tcp_output import send_control, tcp_send_ack, tcp_sendmsg
 
 #: The paper's NIC interrupt vectors (Table 4).
 PAPER_NIC_VECTORS = (0x19, 0x1A, 0x1B, 0x1D, 0x23, 0x24, 0x25, 0x27)
+
+#: First MSI-X vector of a multi-queue NIC's per-queue block; queue q
+#: interrupts on ``QUEUE_VECTOR_BASE + q``.  Chosen clear of the
+#: paper's legacy vectors above.
+QUEUE_VECTOR_BASE = 0x40
 
 
 class Connection:
@@ -59,7 +64,8 @@ class NetworkStack:
     NET_TX = NET_TX_SOFTIRQ
 
     def __init__(self, machine, params=None, n_connections=8, mode="tx",
-                 message_size=65536, vectors=PAPER_NIC_VECTORS):
+                 message_size=65536, vectors=PAPER_NIC_VECTORS,
+                 n_queues=1):
         """
         Parameters
         ----------
@@ -75,12 +81,20 @@ class NetworkStack:
         message_size:
             The ttcp transaction size; sizes the per-process user
             buffer (ttcp reuses one buffer for every iteration).
+        n_queues:
+            ``1`` (default) builds the paper's topology: one
+            single-vector NIC per connection.  ``> 1`` builds a single
+            shared multi-queue NIC with that many hardware RX queues
+            (MSI-X vector per queue) steered by RSS/Flow Director; all
+            connections ride the one port, as on modern hardware.
         """
         if mode not in ("tx", "rx", "iscsi", "web"):
             raise ValueError(
                 "mode must be 'tx', 'rx', 'iscsi' or 'web', got %r" % mode
             )
-        if n_connections > len(vectors):
+        if n_queues < 1:
+            raise ValueError("n_queues must be >= 1, got %d" % n_queues)
+        if n_queues == 1 and n_connections > len(vectors):
             raise ValueError(
                 "%d connections but only %d IRQ vectors"
                 % (n_connections, len(vectors))
@@ -89,6 +103,7 @@ class NetworkStack:
         self.params = params or NetParams()
         self.mode = mode
         self.message_size = message_size
+        self.n_queues = n_queues
         #: Set by FaultInjector.attach(); None in fault-free runs.
         self.fault_injector = None
         self.specs = register_profiles(machine.functions)
@@ -106,20 +121,43 @@ class NetworkStack:
 
         self.nics = []
         self.connections = []
-        for i in range(n_connections):
-            nic = Nic(machine, i, vectors[i], self.params)
-            machine.register_irq(
-                IrqLine(vectors[i], nic.name, self._make_isr(nic))
+        if n_queues == 1:
+            for i in range(n_connections):
+                nic = Nic(machine, i, vectors[i], self.params)
+                machine.register_irq(
+                    IrqLine(vectors[i], nic.name, self._make_isr(nic))
+                )
+                self.nics.append(nic)
+                self.connections.append(self._make_connection(i, nic))
+        else:
+            queue_vectors = tuple(
+                QUEUE_VECTOR_BASE + q for q in range(n_queues)
             )
+            nic = Nic(machine, 0, queue_vectors[0], self.params,
+                      n_queues=n_queues, queue_vectors=queue_vectors)
+            for rxq in nic.rxqs:
+                machine.register_irq(
+                    IrqLine(rxq.vector, "%s-rxq%d" % (nic.name, rxq.qid),
+                            self._make_queue_isr(nic, rxq))
+                )
+            nic.peer = PeerMux()
+            machine.add_resettable(nic)
             self.nics.append(nic)
-            self.connections.append(self._make_connection(i, nic))
+            for i in range(n_connections):
+                conn = self._make_connection(i, nic, shared=True)
+                nic.peer.register(i, conn.peer)
+                # Queue-level reordering must be recoverable: sources
+                # need dup-ACK fast retransmit exactly as real TCP
+                # senders facing a Flow Director NIC do (Wu et al.).
+                conn.peer.enable_loss_recovery()
+                self.connections.append(conn)
         self._prime_rx_rings()
 
     # ------------------------------------------------------------------
     # Construction helpers.
     # ------------------------------------------------------------------
 
-    def _make_connection(self, conn_id, nic):
+    def _make_connection(self, conn_id, nic, shared=False):
         machine = self.machine
         sock = Sock(machine, self.params, conn_id, "conn%d" % conn_id)
         peer_mode = {"tx": "sink", "rx": "source", "iscsi": "initiator",
@@ -128,7 +166,8 @@ class NetworkStack:
                     block_bytes=self.message_size)
         if self.mode == "web":
             sock.established = False
-        nic.peer = peer
+        if not shared:
+            nic.peer = peer
         user_buffer = machine.space.alloc_page_aligned(
             "ttcp_buf%d" % conn_id, max(self.message_size, 64), zone="user"
         )
@@ -142,15 +181,21 @@ class NetworkStack:
         )
         conn.rexmit_timer = sock.rexmit_timer
         machine.add_resettable(conn)
-        machine.add_resettable(nic)
+        if not shared:
+            machine.add_resettable(nic)
         machine.add_resettable(peer)
         return conn
 
     def _prime_rx_rings(self):
         """Fill every receive ring before traffic starts (driver init)."""
         for nic in self.nics:
-            for _ in range(self.params.rx_ring_size):
-                nic.post_rx(self.pools.alloc_nocharge(0))
+            if nic.rxqs is None:
+                for _ in range(self.params.rx_ring_size):
+                    nic.post_rx(self.pools.alloc_nocharge(0))
+            else:
+                for rxq in nic.rxqs:
+                    for _ in range(self.params.rx_ring_size):
+                        rxq.post_rx(self.pools.alloc_nocharge(0))
 
     def start_peers(self):
         """Kick active peers (receive and iSCSI experiments)."""
@@ -218,6 +263,63 @@ class NetworkStack:
                             base_instructions("alloc_skb"),
                         )
                         nic.post_rx(skb)
+
+        return isr
+
+    def _make_queue_isr(self, nic, rxq):
+        """Per-queue MSI-X handler: like :meth:`_make_isr`, but the
+        cause register, completion pops, ring touches and replenish
+        all belong to one :class:`~repro.net.nic.RxQueue`."""
+
+        def isr(ctx):
+            specs = self.specs
+            ctx.charge(
+                specs["e1000_intr"],
+                base_instructions("e1000_intr"),
+                reads=[(nic.regs.addr, 64)],
+                extra_cycles=350,
+            )
+            tx_done, rx_frames = rxq.claim()
+            if tx_done:
+                softnet = self.softnet[ctx.cpu_index]
+                ctx.charge(
+                    specs["e1000_clean_tx_irq"],
+                    base_instructions("e1000_clean_tx_irq")
+                    + 25 * len(tx_done),
+                    reads=[nic.tx_ring.field(0, 16 * min(64, len(tx_done)))],
+                    writes=[softnet.head_range()],
+                )
+                softnet.completion_queue.extend(tx_done)
+                ctx.raise_softirq(NET_TX_SOFTIRQ)
+            if rx_frames:
+                softnet = self.softnet[ctx.cpu_index]
+                ctx.charge(
+                    specs["e1000_clean_rx_irq"],
+                    base_instructions("e1000_clean_rx_irq")
+                    + 30 * len(rx_frames),
+                    reads=[rxq.ring.field(0, 16 * min(64, len(rx_frames)))],
+                )
+                for _, skb in rx_frames:
+                    ctx.charge(
+                        specs["netif_rx"],
+                        base_instructions("netif_rx"),
+                        writes=[skb.head_range(256), softnet.head_range()],
+                    )
+                    softnet.enqueue_backlog(skb)
+                ctx.raise_softirq(NET_RX_SOFTIRQ)
+                deficit = min(len(rx_frames), rxq.rx_posted_deficit())
+                if deficit > 0:
+                    ctx.charge(
+                        specs["e1000_alloc_rx_buffers"],
+                        base_instructions("e1000_alloc_rx_buffers"),
+                        writes=[rxq.ring.field(0, 16 * deficit)],
+                    )
+                    for _ in range(deficit):
+                        skb = self.pools.alloc(
+                            ctx, specs["alloc_skb"],
+                            base_instructions("alloc_skb"),
+                        )
+                        rxq.post_rx(skb)
 
         return isr
 
@@ -383,7 +485,6 @@ class NetworkStack:
     def sys_read(self, ctx, conn, nbytes):
         """``read(fd, buf, nbytes)``: blocks only when no data at all."""
         specs = self.specs
-        params = self.params
         sock = conn.sock
         task_struct = ctx.task._struct
         ctx.charge(

@@ -249,6 +249,7 @@ def tcp_rcv_established(ctx, stack, conn, skb):
         # Entirely duplicate data (a retransmission overlap): drop it
         # and re-ACK our state so the sender converges.
         sock.dup_segs_in += 1
+        sock.dup_acks_out += 1
         stack.pools.free(
             ctx, specs["kfree_skb"], base_instructions("kfree_skb"), skb
         )
@@ -269,6 +270,7 @@ def tcp_rcv_established(ctx, stack, conn, skb):
             stack.pools.free(
                 ctx, specs["kfree_skb"], base_instructions("kfree_skb"), skb
             )
+        sock.dup_acks_out += 1
         for op in tcp_send_ack(ctx, stack, conn):
             yield op
         return

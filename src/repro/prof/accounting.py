@@ -17,7 +17,6 @@ from repro.cpu.events import (
     CYCLES,
     INSTRUCTIONS,
     LLC_MISSES,
-    MACHINE_CLEARS,
     N_EVENTS,
     zero_counts,
 )

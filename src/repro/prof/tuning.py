@@ -10,7 +10,6 @@ It is deliberately rule-based and first-order, like the original.
 """
 
 from repro.cpu.events import (
-    BRANCHES,
     BR_MISPREDICTS,
     CYCLES,
     INSTRUCTIONS,

@@ -45,6 +45,8 @@ EVENT_NAMES = (
     "lock_acquire",     # spinlock taken                args: lock
     "lock_contend",     # spinlock acquisition spun     args: lock
     "copy_to_user",     # RX payload copied out         args: vector, bytes
+    "rx_steer",         # MQ NIC steered a frame        args: conn, queue
+    "fd_retarget",      # Flow Director moved a flow    args: conn, queue
 )
 
 

@@ -1,6 +1,5 @@
 """Tests for the shared front-side-bus contention model."""
 
-import pytest
 
 from repro.cpu.params import CostModel
 from repro.kernel.machine import Machine
@@ -19,7 +18,6 @@ class TestBusMath:
 
     def test_delay_grows_with_utilization(self):
         costs = CostModel()
-        memsys = MemorySystem()
         delays = []
         for load in (0.1, 0.4, 0.8):
             m = MemorySystem()

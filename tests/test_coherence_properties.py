@@ -12,7 +12,6 @@ step:
 * repeated local access never misses (hit stability).
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cpu.core import Cpu

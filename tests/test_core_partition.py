@@ -3,7 +3,7 @@
 import pytest
 
 from repro.apps.webserve import WebServerWorkload
-from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.experiment import ExperimentConfig
 from repro.core.modes import apply_affinity
 from repro.core.partition import (
     Partition,

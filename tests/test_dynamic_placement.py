@@ -39,7 +39,7 @@ class TestIrqRotator:
 
     def test_single_cpu_epoch_mode(self):
         machine, stack, _ = build()
-        rotator = IrqRotator(
+        IrqRotator(  # constructing arms it; the engine holds the ref
             machine, [n.vector for n in stack.nics],
             interval_cycles=1 * MS, per_line=False,
         )

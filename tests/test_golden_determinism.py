@@ -2,8 +2,11 @@
 
 ``tests/golden/metrics.json`` pins, for a fixed seed, the *complete*
 result payload (as a SHA-256 over the sorted-key JSON) plus a few
-plain metrics of every cell in a 24-cell matrix: both directions,
-three message sizes, all four affinity modes.
+plain metrics of every cell in a 36-cell matrix: both directions,
+three message sizes, all four affinity modes -- plus the two
+multi-queue steering modes (``rss`` / ``flow-director``) on a shared
+4-queue 10GbE-class NIC, which pins the Toeplitz spread, Flow
+Director retarget timing and the reordering counters bit-for-bit.
 
 The hash makes this a bit-identity check: any change to simulated
 cache behaviour, event ordering, cycle charging or accounting -- no
@@ -32,12 +35,28 @@ GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "metrics.json")
 DIRECTIONS = ("tx", "rx")
 SIZES = (1024, 16384, 65536)
 MODES = ("none", "proc", "irq", "full")
+MQ_MODES = ("rss", "flow-director")
 
 
 def _config(direction, size, mode):
-    # Small windows keep the 24-cell matrix affordable in tier-1; the
+    # Small windows keep the 36-cell matrix affordable in tier-1; the
     # hash covers the full payload, so even tiny windows pin every
     # counter the simulator produces.
+    if mode in MQ_MODES:
+        # The steering modes run on one shared 4-queue NIC with more
+        # flows than queues, so the Flow Director cells exercise
+        # queue sharing and filter retargets.
+        return ExperimentConfig(
+            direction=direction,
+            message_size=size,
+            affinity=mode,
+            n_connections=8,
+            n_cpus=4,
+            n_queues=4,
+            warmup_ms=2,
+            measure_ms=3,
+            seed=7,
+        )
     return ExperimentConfig(
         direction=direction,
         message_size=size,
@@ -67,7 +86,7 @@ GOLDEN = _load_golden()
 
 CELLS = [
     ("%s-%d-%s" % (d, s, m), d, s, m)
-    for d in DIRECTIONS for s in SIZES for m in MODES
+    for d in DIRECTIONS for s in SIZES for m in MODES + MQ_MODES
 ]
 
 

@@ -1,6 +1,5 @@
 """Tests for the SMT (HyperThreading) extension."""
 
-import pytest
 
 from repro.apps.ttcp import TtcpWorkload
 from repro.core.modes import apply_affinity

@@ -7,7 +7,6 @@ steering, timeslice preemption, and IPI bookkeeping.
 
 import pytest
 
-from repro.kernel.interrupts import IrqLine
 from repro.kernel.machine import Machine
 from repro.kernel.softirq import NET_RX_SOFTIRQ
 from repro.kernel.task import Task, WaitQueue

@@ -4,7 +4,7 @@ import pytest
 
 from repro.kernel.machine import Machine
 from repro.kernel.task import TASK_DEAD, Task, WaitQueue
-from repro.mem.layout import PAGE_SIZE, USER_BASE
+from repro.mem.layout import PAGE_SIZE
 
 MS = 2_000_000
 
@@ -44,8 +44,6 @@ class TestContextSwitchTlb:
         machine.run_for(2 * MS)
         assert "b-ran" in phases
         dtlb_pages = machine.cpus[0].dtlb.resident_pages()
-        user_pages = [p for p in dtlb_pages
-                      if p < 0xC000_0000 // PAGE_SIZE]
         # After switching to b, a's user pages are flushed...
         assert user_buf.addr // PAGE_SIZE not in dtlb_pages
         # ...while kernel (global) translations survive.

@@ -4,7 +4,7 @@ import pytest
 
 from repro.kernel.machine import Machine
 from repro.net.nic import Nic
-from repro.net.packet import Packet, ack_packet, data_packet
+from repro.net.packet import ack_packet, data_packet
 from repro.net.params import NetParams
 from repro.net.peer import Peer
 from repro.net.skbuff import SkbPools

@@ -1,6 +1,5 @@
 """Focused tests on the TCP transmit/receive code paths."""
 
-import pytest
 
 from repro.apps.ttcp import TtcpWorkload
 from repro.kernel.machine import Machine

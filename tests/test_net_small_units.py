@@ -3,7 +3,6 @@
 import pytest
 
 from repro.kernel.machine import Machine
-from repro.mem.layout import AddressSpace
 from repro.net.copies import charge_rx_copy, charge_tx_copy
 from repro.net.dev import SoftnetData
 from repro.net.packet import (

@@ -115,7 +115,7 @@ class TestRxIntegrity:
             read = workload.bytes_done[conn.conn_id]
             # peer sent == read + still queued + backlogged + on wire /
             # in rings.  All terms non-negative and peer >= read.
-            assert conn.peer.total_sent >= read + queued
+            assert conn.peer.total_sent >= read + queued + backlogged
             assert sock.rcv_nxt <= conn.peer.snd_nxt
 
     def test_rcvbuf_bounded(self, rx):

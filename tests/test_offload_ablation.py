@@ -1,6 +1,5 @@
 """Checksum-offload ablation (paper section 2's NIC-offload theme)."""
 
-import pytest
 
 from repro.apps.ttcp import TtcpWorkload
 from repro.core.modes import apply_affinity
@@ -48,7 +47,6 @@ class TestTxChecksumOffload:
         tput = {}
         for offload in (False, True):
             _, workload = run("tx", NetParams(tx_csum_offload=offload))
-            machine_window = 14 * MS
             tput[offload] = workload.total_bytes()
         gain = tput[True] / tput[False] - 1.0
         assert 0.0 < gain < 0.15

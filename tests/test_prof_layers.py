@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cpu.events import CYCLES, INSTRUCTIONS, MACHINE_CLEARS
+from repro.cpu.events import CYCLES, INSTRUCTIONS
 from repro.prof.accounting import BinProfile, ExactAccounting
 from repro.prof.oprofile import OprofileView
 from repro.prof.procstat import ProcInterrupts

@@ -1,9 +1,7 @@
 """Tests for the VTune-style tuning assistant."""
 
-import pytest
-
 from repro.cpu.params import CostModel
-from repro.prof.tuning import Advice, analyze, render_advice
+from repro.prof.tuning import analyze, render_advice
 
 
 class TestAssistantOnRealRun:

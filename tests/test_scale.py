@@ -1,0 +1,88 @@
+"""The multi-queue scaling study: sweep grid, tables, CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.report import render_scale_table
+from repro.core.scale import run_scale_sweep, scaling_efficiency
+
+CPUS = (2, 4)
+SIZES = (16384,)
+MODES = ("rss", "flow-director")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    # The same cells the CLI smoke below hits, kept tiny: 2x1x2 grid,
+    # 2ms/3ms windows (cache-shared with the golden suite's settings).
+    return run_scale_sweep(
+        "rx", cpus=CPUS, sizes=SIZES, modes=MODES,
+        n_queues=4, n_connections=8,
+        warmup_ms=2, measure_ms=3, seed=7,
+    )
+
+
+class TestSweep:
+    def test_grid_is_complete(self, sweep):
+        assert sorted(sweep) == sorted(
+            (c, s, m) for c in CPUS for s in SIZES for m in MODES
+        )
+        assert all(r is not None for r in sweep.values())
+
+    def test_throughput_grows_with_cpus(self, sweep):
+        for mode in MODES:
+            small = sweep[(2, 16384, mode)].throughput_gbps
+            big = sweep[(4, 16384, mode)].throughput_gbps
+            assert big > small > 0
+
+    def test_cells_carry_steering_metrics(self, sweep):
+        for (_, _, mode), result in sweep.items():
+            steering = result.to_dict()["steering"]
+            assert steering["n_queues"] == 4
+            assert steering["flow_director"] == (mode == "flow-director")
+            assert sum(steering["rx_steered"]) > 0
+
+
+class TestEfficiency:
+    def test_baseline_is_one(self, sweep):
+        eff = scaling_efficiency(sweep, SIZES, CPUS, "rss")
+        assert eff[16384][0] == pytest.approx(1.0)
+        assert 0.0 < eff[16384][1] <= 1.5
+
+    def test_missing_cells_are_none(self):
+        partial = {(2, 16384, "rss"): None}
+        eff = scaling_efficiency(partial, SIZES, (2, 4), "rss")
+        assert eff[16384] == [None, None]
+
+
+class TestRender:
+    def test_table_mentions_every_cell(self, sweep):
+        text = render_scale_table(sweep, CPUS, SIZES, MODES, "rx", 4)
+        assert "rss" in text and "flow-director" in text
+        assert "GHz/Gbps" in text
+        assert "reorder" in text
+
+    def test_failed_cells_render_as_fail(self, sweep):
+        broken = dict(sweep)
+        broken[(4, 16384, "rss")] = None
+        text = render_scale_table(broken, CPUS, SIZES, MODES, "rx", 4)
+        assert "FAIL" in text or "--" in text
+
+
+class TestCli:
+    def test_scale_smoke(self, capsys):
+        rc = main([
+            "scale", "--cpus", "2", "--sizes", "16384",
+            "--modes", "rss", "--queues", "4", "--connections", "8",
+            "--warmup-ms", "2", "--measure-ms", "3", "--seed", "7",
+            "--jobs", "1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "throughput Mb/s" in out
+        assert "scaling efficiency" in out
+
+    def test_scale_rejects_unknown_mode(self, capsys):
+        rc = main(["scale", "--modes", "bogus"])
+        assert rc == 2
+        assert "unknown steering mode" in capsys.readouterr().err

@@ -51,13 +51,35 @@ BASELINE = os.path.join(PERF_DIR, "baseline.json")
 MODES = ("none", "proc", "irq", "full")
 SIZES = (1024, 16384, 65536)
 
+#: The multi-queue steering modes ride along at one representative
+#: size: their hot path (Toeplitz lookups, per-queue rings, FD
+#: sampling) is distinct from the single-NIC matrix, so a regression
+#: there would otherwise be invisible to the gate.
+MQ_MODES = ("rss", "flow-director")
+MQ_SIZES = (16384,)
+
 #: ``--quick`` corners: the cheapest and the most expensive cell of
-#: the matrix -- enough to catch a hot-path regression in CI without
-#: paying for all twelve cells.
-QUICK_CELLS = (("none", 1024), ("full", 65536))
+#: the single-NIC matrix plus both steering modes -- enough to catch
+#: a hot-path regression in CI without paying for the full matrix.
+QUICK_CELLS = (("none", 1024), ("full", 65536),
+               ("rss", 16384), ("flow-director", 16384))
 
 
 def _cell_config(mode, size, direction, measure_ms):
+    if mode in MQ_MODES:
+        # Steering cells run the shared 4-queue NIC with more flows
+        # than queues (the contended regime the subsystem models).
+        return ExperimentConfig(
+            direction=direction,
+            message_size=size,
+            affinity=mode,
+            n_connections=8,
+            n_cpus=4,
+            n_queues=4,
+            warmup_ms=2,
+            measure_ms=measure_ms,
+            seed=7,
+        )
     return ExperimentConfig(
         direction=direction,
         message_size=size,
@@ -145,9 +167,10 @@ def bench_cell(mode, size, direction, measure_ms, repeats):
 
 
 def run_matrix(args):
-    cells = QUICK_CELLS if args.quick else [
-        (m, s) for m in MODES for s in SIZES
-    ]
+    cells = QUICK_CELLS if args.quick else (
+        [(m, s) for m in MODES for s in SIZES]
+        + [(m, s) for m in MQ_MODES for s in MQ_SIZES]
+    )
     calib = calibrate()
     print("calibration kernel: %.4fs" % calib, file=sys.stderr)
     rows = []
