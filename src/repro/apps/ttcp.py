@@ -9,20 +9,62 @@ start and then reused), mirroring the paper's in-kernel-web-server
 caching assumption.
 """
 
-from repro.kernel.task import Task
+from repro.kernel.task import Task, WaitQueue
+from repro.kernel.timers import KernelTimer
+from repro.net.params import base_instructions
 
 
 class TtcpWorkload:
     """Spawns one ttcp process per connection and counts goodput."""
 
-    def __init__(self, machine, stack, message_size):
+    def __init__(self, machine, stack, message_size, offered_gbps=None):
+        """``offered_gbps`` (transmit tests only) paces the writers to
+        a fixed aggregate offered load, split evenly across
+        connections, instead of the default write-as-fast-as-possible
+        loop.  Pacing is work-conserving against a cumulative byte
+        schedule: a writer that overslept (blocked on the send buffer,
+        or on the millisecond-granular kernel timer used to wait) sends
+        back-to-back until it catches up, so the average offered rate
+        holds.  Receive tests ignore it -- the remote source peer is
+        paced instead (see :meth:`repro.net.peer.Peer.set_pacing`)."""
         self.machine = machine
         self.stack = stack
         self.message_size = message_size
         self.bytes_done = [0] * len(stack.connections)
         self.messages_done = [0] * len(stack.connections)
         self.tasks = []
+        n = len(stack.connections)
+        self._pace_cpb = None
+        if offered_gbps is not None and stack.mode == "tx":
+            if offered_gbps <= 0:
+                raise ValueError("offered_gbps must be positive")
+            per_conn = offered_gbps / float(n)
+            self._pace_cpb = machine.hz / (per_conn * 1e9 / 8.0)
+            self._pace_t0 = [None] * n
+            self._pace_offered = [0] * n
+            self._pace_due = [False] * n
+            self._pace_wqs = [WaitQueue("ttcp-pace%d" % i) for i in range(n)]
+            self._pace_timers = [
+                KernelTimer("tcp_write_timer", self._make_pace_handler(i))
+                for i in range(n)
+            ]
         machine.add_resettable(self)
+
+    def _make_pace_handler(self, i):
+        """Timer handler releasing writer ``i`` from its pacing sleep
+        (runs in softirq context, like tcp_write_timer)."""
+
+        def handler(ctx):
+            ctx.charge(
+                self.stack.specs["tcp_write_timer"],
+                base_instructions("tcp_write_timer"),
+            )
+            self._pace_due[i] = True
+            ctx.wake_up(self._pace_wqs[i])
+            return
+            yield  # pragma: no cover -- marks this as a generator
+
+        return handler
 
     def spawn_all(self, initial_cpu=0):
         """Create the ttcp processes (affinity applied separately)."""
@@ -47,10 +89,32 @@ class TtcpWorkload:
             warm = stack.specs["tcp_sendmsg"]
             ctx.charge(warm, 50,
                        writes=[(conn.user_buffer.addr, conn.user_buffer.size)])
+            if self._pace_cpb is not None:
+                self._pace_t0[index] = ctx.now
             while True:
                 n = yield from stack.sys_write(ctx, conn, size)
                 self.bytes_done[index] += n
                 self.messages_done[index] += 1
+                if self._pace_cpb is not None:
+                    self._pace_offered[index] += n
+                    target = self._pace_t0[index] + int(
+                        self._pace_offered[index] * self._pace_cpb
+                    )
+                    if ctx.now < target:
+                        # Ahead of the offered-load schedule: arm a
+                        # write timer and sleep until the next release
+                        # point (tick-granular, so catch-up above keeps
+                        # the average rate exact).
+                        self._pace_due[index] = False
+                        ctx.charge(
+                            stack.specs["mod_timer"],
+                            base_instructions("mod_timer"),
+                        )
+                        ctx.add_timer(
+                            self._pace_timers[index], target - ctx.now
+                        )
+                        yield ("block", self._pace_wqs[index],
+                               lambda i=index: self._pace_due[i])
                 yield ("preempt_check",)
 
         return body

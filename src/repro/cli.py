@@ -24,6 +24,10 @@ Examples::
     # 10GbE-class NIC across machine sizes.
     repro-affinity scale --modes rss,flow-director --queues 8
 
+    # Automated bottleneck diagnosis: saturate, perturb each modeled
+    # cost, rank by throughput lost (writes JSON into results/).
+    repro-affinity diagnose --direction rx --modes none,full
+
 Results are cached in ``.repro-results/`` (override with
 ``REPRO_RESULTS_DIR``).
 """
@@ -54,6 +58,14 @@ from repro.core.scale import (
     SCALE_SIZES,
     run_scale_sweep,
     scaling_efficiency,
+)
+from repro.diagnose import (
+    DEFAULT_FACTOR,
+    DEFAULT_STEPS,
+    DEFAULT_SUSTAIN_FRAC,
+    PERTURB_SPECS,
+    render_diagnosis,
+    run_diagnosis,
 )
 from repro.trace import (
     LatencyStats,
@@ -253,6 +265,86 @@ def cmd_scale(args):
     return 0
 
 
+def cmd_diagnose(args):
+    import json
+    import os
+
+    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    for mode in modes:
+        if mode not in EXTENDED_MODES:
+            print("[repro] unknown affinity mode %r (choose from %s)"
+                  % (mode, ", ".join(EXTENDED_MODES)), file=sys.stderr)
+            return 2
+    if args.knobs:
+        knobs = tuple(k.strip() for k in args.knobs.split(",") if k.strip())
+        unknown = [k for k in knobs if k not in PERTURB_SPECS]
+        if unknown:
+            print("[repro] unknown knob(s) %s (choose from %s)"
+                  % (", ".join(unknown), ", ".join(PERTURB_SPECS)),
+                  file=sys.stderr)
+            return 2
+    else:
+        knobs = None
+    if args.factor <= 1.0:
+        print("[repro] --factor must be > 1 (costs only scale up)",
+              file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else DEFAULT_CACHE
+    runner = None
+    if args.jobs != 1:
+        runner = SweepRunner(
+            jobs=args.jobs if args.jobs > 0 else default_jobs(),
+            cache=cache,
+            progress=lambda msg: print("[repro] %s" % msg, file=sys.stderr),
+            timeout=args.cell_timeout,
+            retries=args.retries,
+        )
+    report = run_diagnosis(
+        directions=(args.direction,),
+        modes=modes,
+        knobs=knobs,
+        factor=args.factor,
+        message_size=args.size,
+        n_connections=args.connections,
+        n_cpus=args.cpus,
+        warmup_ms=args.warmup_ms,
+        measure_ms=args.measure_ms,
+        seed=args.seed,
+        steps=args.steps,
+        sustain_frac=args.sustain,
+        cache=cache,
+        runner=runner,
+        progress=lambda msg: print("[repro] %s" % msg, file=sys.stderr),
+    )
+    print(render_diagnosis(report))
+    out = args.json
+    if out is None:
+        out = os.path.join(
+            "results",
+            "diagnosis_%s_%d_%s.json"
+            % (args.direction, args.size, "-".join(modes)),
+        )
+    parent = os.path.dirname(out)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print("[repro] wrote %s" % out, file=sys.stderr)
+    if runner is not None and not runner.report.ok:
+        print("[repro] diagnosis incomplete: %s" % runner.report.summary(),
+              file=sys.stderr)
+        return 3
+    incomplete = any(
+        b.get("failed") for b in report["baselines"].values()
+    ) or any(c["perturbed_gbps"] is None for c in report["cells"])
+    if incomplete:
+        print("[repro] diagnosis incomplete: some cells failed",
+              file=sys.stderr)
+        return 3
+    return 0
+
+
 def cmd_trace(args):
     args.trace = TraceOptions(
         capacity=args.capacity,
@@ -413,6 +505,58 @@ def build_parser():
         "--retries", type=int, default=1,
         help="same-seed re-runs granted to a failing cell (default 1)")
     p_scale.set_defaults(func=cmd_scale)
+
+    p_diag = sub.add_parser(
+        "diagnose",
+        help="automated bottleneck diagnosis: saturate, perturb each "
+             "modeled cost, rank by throughput lost",
+    )
+    p_diag.add_argument("--direction", choices=("tx", "rx"), default="rx")
+    p_diag.add_argument("--size", type=int, default=65536,
+                        help="ttcp transaction size in bytes")
+    p_diag.add_argument(
+        "--modes", default="none,full",
+        help="comma-separated affinity modes to diagnose "
+             "(default none,full; the Table 3 cross-check needs both)")
+    p_diag.add_argument(
+        "--knobs", default=None,
+        help="comma-separated perturbation knobs (default all: %s)"
+             % ",".join(PERTURB_SPECS))
+    p_diag.add_argument(
+        "--factor", type=float, default=DEFAULT_FACTOR,
+        help="multiplicative cost severity per knob, > 1 "
+             "(default %.2f)" % DEFAULT_FACTOR)
+    p_diag.add_argument(
+        "--steps", type=int, default=DEFAULT_STEPS,
+        help="bisection steps after the ceiling probe (default %d)"
+             % DEFAULT_STEPS)
+    p_diag.add_argument(
+        "--sustain", type=float, default=DEFAULT_SUSTAIN_FRAC,
+        help="delivered/offered fraction counted as sustained "
+             "(default %.2f)" % DEFAULT_SUSTAIN_FRAC)
+    p_diag.add_argument("--connections", type=int, default=8)
+    p_diag.add_argument("--cpus", type=int, default=2)
+    p_diag.add_argument("--seed", type=int, default=3)
+    # Smaller windows than run/sweep: a diagnosis is dozens of cells.
+    p_diag.add_argument("--warmup-ms", type=int, default=5)
+    p_diag.add_argument("--measure-ms", type=int, default=10)
+    p_diag.add_argument("--no-cache", action="store_true",
+                        help="always re-run, ignore cached results")
+    p_diag.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes (1 = serial; 0 = one per CPU / "
+             "$REPRO_JOBS)")
+    p_diag.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock watchdog per cell")
+    p_diag.add_argument(
+        "--retries", type=int, default=1,
+        help="same-seed re-runs granted to a failing cell (default 1)")
+    p_diag.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="report JSON path (default results/diagnosis_<direction>"
+             "_<size>_<modes>.json)")
+    p_diag.set_defaults(func=cmd_diagnose)
 
     p_trace = sub.add_parser(
         "trace", help="trace one run; print analyses, export for "

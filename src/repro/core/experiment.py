@@ -22,7 +22,7 @@ from repro.apps.ttcp import TtcpWorkload
 from repro.apps.webserve import WebServerWorkload
 from repro.cpu.events import N_EVENTS
 from repro.cpu.function import BINS
-from repro.cpu.params import CostModel
+from repro.cpu.params import CostModel, cpu_params_from_overrides
 from repro.kernel.machine import Machine
 from repro.kernel.scheduler import SchedulerParams
 from repro.faults.invariants import InvariantChecker
@@ -56,6 +56,9 @@ class ExperimentConfig:
         faults=None,
         trace=None,
         n_queues=1,
+        net_overrides=None,
+        cpu_overrides=None,
+        offered_gbps=None,
     ):
         """``cost_overrides`` maps CostModel attribute names to values
         (e.g. ``{"c2c_transfer": 600}``), for sensitivity studies.
@@ -81,13 +84,34 @@ class ExperimentConfig:
         NIC (RSS/Flow Director steering) instead of one single-vector
         NIC per connection; see :class:`~repro.net.stack.NetworkStack`.
         The default of 1 is omitted from the cache key, so existing
-        keys are unchanged."""
+        keys are unchanged.
+
+        ``net_overrides`` / ``cpu_overrides`` map
+        :class:`~repro.net.params.NetParams` constructor keywords /
+        :data:`~repro.cpu.params.CPU_OVERRIDE_KEYS` geometry names to
+        perturbed values, for the diagnosis subsystem's one-knob-at-a-
+        time sensitivity runs (``repro.diagnose``).  ``offered_gbps``
+        paces the ttcp workload to a fixed aggregate offered load
+        (peer-side for receive tests, writer-side for transmit)
+        instead of running closed-loop.  All three follow the
+        omit-when-default rule, so pre-existing cache keys -- and the
+        golden result hashes -- are unchanged."""
         if direction not in ("tx", "rx"):
             raise ValueError("direction must be 'tx' or 'rx'")
         if workload not in ("ttcp", "iscsi", "web"):
             raise ValueError("unknown workload %r" % workload)
         if n_queues < 1:
             raise ValueError("n_queues must be >= 1, got %r" % n_queues)
+        if offered_gbps is not None:
+            if workload != "ttcp":
+                raise ValueError(
+                    "offered_gbps requires the ttcp workload "
+                    "(got %r)" % workload
+                )
+            if offered_gbps <= 0:
+                raise ValueError(
+                    "offered_gbps must be positive, got %r" % offered_gbps
+                )
         self.workload = workload
         self.direction = direction
         self.message_size = message_size
@@ -101,6 +125,9 @@ class ExperimentConfig:
         self.faults = FaultPlan.coerce(faults)
         self.trace = TraceOptions.coerce(trace)
         self.n_queues = n_queues
+        self.net_overrides = dict(net_overrides or {})
+        self.cpu_overrides = dict(cpu_overrides or {})
+        self.offered_gbps = offered_gbps
 
     def to_dict(self):
         d = dict(
@@ -128,6 +155,15 @@ class ExperimentConfig:
         # keep their pre-multi-queue cache keys.
         if self.n_queues != 1:
             d["n_queues"] = self.n_queues
+        # Diagnosis fields (perturbations and offered-load pacing):
+        # same omit-when-default rule, so unperturbed closed-loop
+        # configs keep their pre-diagnosis cache keys.
+        if self.net_overrides:
+            d["net_overrides"] = self.net_overrides
+        if self.cpu_overrides:
+            d["cpu_overrides"] = self.cpu_overrides
+        if self.offered_gbps is not None:
+            d["offered_gbps"] = self.offered_gbps
         return d
 
     def key(self):
@@ -144,6 +180,10 @@ class ExperimentConfig:
             base += "+faults"
         if self.n_queues != 1:
             base += "+%dq" % self.n_queues
+        if self.net_overrides or self.cpu_overrides:
+            base += "+pert"
+        if self.offered_gbps is not None:
+            base += "+load%g" % self.offered_gbps
         return base
 
     def __repr__(self):
@@ -418,6 +458,10 @@ def run_experiment(config, cache=None, progress=None):
         progress("running %s" % config.label())
     machine = Machine(
         n_cpus=config.n_cpus,
+        cpu_params=(
+            cpu_params_from_overrides(config.cpu_overrides)
+            if config.cpu_overrides else None
+        ),
         costs=CostModel(**config.cost_overrides),
         sched_params=SchedulerParams(),
         seed=config.seed,
@@ -437,6 +481,8 @@ def run_experiment(config, cache=None, progress=None):
         # saturate the wire on a single CPU and make the scaling
         # question -- the whole point of multiple queues -- vacuous.
         net_kwargs["wire_gbps"] = 10.0
+    # Perturbation overrides win over the derived defaults above.
+    net_kwargs.update(config.net_overrides)
     net_params = NetParams(**net_kwargs)
     stack = NetworkStack(
         machine,
@@ -448,8 +494,20 @@ def run_experiment(config, cache=None, progress=None):
     )
     if plan is not None and plan.enabled:
         FaultInjector(machine, plan).attach(stack)
+    if config.offered_gbps is not None and config.direction == "rx":
+        # Receive tests are offered load by the remote sources: pace
+        # them (cycle-accurate token schedule), splitting the aggregate
+        # rate evenly across connections.
+        per_conn = config.offered_gbps / float(config.n_connections)
+        for conn in stack.connections:
+            conn.peer.set_pacing(per_conn)
     if config.workload == "ttcp":
-        workload = TtcpWorkload(machine, stack, config.message_size)
+        workload = TtcpWorkload(
+            machine, stack, config.message_size,
+            offered_gbps=(
+                config.offered_gbps if config.direction == "tx" else None
+            ),
+        )
     elif config.workload == "iscsi":
         workload = IscsiTargetWorkload(machine, stack, config.message_size)
     else:

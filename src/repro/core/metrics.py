@@ -6,12 +6,41 @@ the normalized cost, GHz/Gbps.  ``run_size_sweep`` produces every
 (size, mode) point; the series helpers shape them for reporting.
 """
 
+import warnings
+
 from repro.core.experiment import (
     PAPER_SIZES,
     ExperimentConfig,
     run_experiment,
 )
 from repro.core.modes import AFFINITY_MODES
+
+
+def dedupe_cells(cells):
+    """Drop repeated grid cells, preserving first-seen order.
+
+    A repeated axis value (``--sizes 4096 4096``) used to pay for the
+    duplicate simulation and then silently lose one of the two results
+    in ``dict(zip(cells, flat))`` -- the dict keeps only the last.
+    Collapsing up front keeps the result dict complete *and* skips the
+    redundant runs; the warning tells the caller their grid was odd.
+    """
+    cells = list(cells)
+    seen = set()
+    unique = []
+    for cell in cells:
+        if cell not in seen:
+            seen.add(cell)
+            unique.append(cell)
+    if len(unique) != len(cells):
+        warnings.warn(
+            "duplicate sweep cells collapsed (%d -> %d); check the "
+            "sizes/cpus/modes axes for repeated values"
+            % (len(cells), len(unique)),
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return unique
 
 
 def run_size_sweep(
@@ -42,7 +71,7 @@ def run_size_sweep(
 
     Returns ``{(size, mode): ExperimentResult}``.
     """
-    cells = [(size, mode) for size in sizes for mode in modes]
+    cells = dedupe_cells((size, mode) for size in sizes for mode in modes)
     configs = [
         ExperimentConfig(
             direction=direction,

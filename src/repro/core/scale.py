@@ -15,6 +15,7 @@ happen at all, which is also the regime real servers run in.
 """
 
 from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.metrics import dedupe_cells
 
 #: Machine sizes the study sweeps (the tentpole's n_cpus axis).
 SCALE_CPUS = (2, 4, 8, 16)
@@ -49,10 +50,10 @@ def run_scale_sweep(
 
     Returns ``{(n_cpus, size, mode): ExperimentResult}``.
     """
-    cells = [
+    cells = dedupe_cells(
         (n_cpus, size, mode)
         for n_cpus in cpus for size in sizes for mode in modes
-    ]
+    )
     configs = [
         ExperimentConfig(
             direction=direction,
@@ -83,12 +84,15 @@ def run_scale_sweep(
 def scaling_efficiency(sweep, sizes, cpus, mode):
     """Per-size speedup-per-CPU relative to the smallest machine.
 
-    ``{size: [throughput(n)/throughput(cpus[0]) / (n/cpus[0])]}`` --
-    1.0 is perfect linear scaling, values sag as the wire saturates or
-    steering overheads bite.  ``None`` entries mark failed cells.
+    ``{size: [throughput(n)/throughput(min(cpus)) / (n/min(cpus))]}``
+    -- 1.0 is perfect linear scaling, values sag as the wire saturates
+    or steering overheads bite.  ``None`` entries mark failed cells.
+    The baseline is ``min(cpus)``, not ``cpus[0]``: an unsorted
+    ``--cpus 16 2 4`` must still normalize against the smallest
+    machine, not whichever one was listed first.
     """
     out = {}
-    base_cpus = cpus[0]
+    base_cpus = min(cpus)
     for size in sizes:
         base = sweep.get((base_cpus, size, mode))
         row = []

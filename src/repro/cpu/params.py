@@ -175,3 +175,44 @@ class CpuParams:
         # text is a reasonable line-granular stand-in.
         self.trace_cache = trace_cache or CacheGeometry(32 * 1024, 8, name="TC")
         self.bp_capacity = bp_capacity
+
+
+#: Geometry override keys accepted by :func:`cpu_params_from_overrides`
+#: (the ``ExperimentConfig.cpu_overrides`` vocabulary).
+CPU_OVERRIDE_KEYS = (
+    "l1_size", "l2_size", "l3_size",
+    "itlb_entries", "dtlb_entries", "bp_capacity",
+)
+
+
+def cpu_params_from_overrides(overrides):
+    """Build a :class:`CpuParams` with selected geometries resized.
+
+    ``overrides`` maps :data:`CPU_OVERRIDE_KEYS` names to new sizes
+    (cache sizes in bytes, TLBs in entries).  Associativity and line
+    size stay at the P4 defaults, so a resized cache keeps its shape --
+    and sizes must keep ``n_sets`` a power of two (the cache index
+    function requires it), which halving or doubling always does.
+    """
+    unknown = set(overrides) - set(CPU_OVERRIDE_KEYS)
+    if unknown:
+        raise ValueError(
+            "unknown cpu_overrides key(s) %s; choose from %s"
+            % (sorted(unknown), ", ".join(CPU_OVERRIDE_KEYS))
+        )
+    kwargs = {}
+    if "l1_size" in overrides:
+        kwargs["l1"] = CacheGeometry(int(overrides["l1_size"]), 4, name="L1D")
+    if "l2_size" in overrides:
+        kwargs["l2"] = CacheGeometry(int(overrides["l2_size"]), 8, name="L2")
+    if "l3_size" in overrides:
+        kwargs["l3"] = CacheGeometry(int(overrides["l3_size"]), 8, name="L3")
+    if "itlb_entries" in overrides:
+        kwargs["itlb"] = TlbGeometry(int(overrides["itlb_entries"]),
+                                     name="ITLB")
+    if "dtlb_entries" in overrides:
+        kwargs["dtlb"] = TlbGeometry(int(overrides["dtlb_entries"]),
+                                     name="DTLB")
+    if "bp_capacity" in overrides:
+        kwargs["bp_capacity"] = int(overrides["bp_capacity"])
+    return CpuParams(**kwargs)

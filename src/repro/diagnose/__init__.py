@@ -1,0 +1,41 @@
+"""Automated bottleneck diagnosis (saturation + perturbation).
+
+The paper's Table 1 explains *why* affinity wins by hand-binning
+per-packet cycles; this package derives the same answer mechanically:
+find each configuration's saturation point (binary search on offered
+load), scale one modeled cost at a time by a multiplicative factor,
+and rank the knobs by the saturation throughput each one costs --
+Δthroughput/Δcost (Ren et al., PAPERS.md).
+
+Entry points: :func:`find_saturation` for one config,
+:func:`run_diagnosis` for the (knob x direction x mode) grid,
+:func:`render_diagnosis` for the text report, and the
+``repro-affinity diagnose`` CLI subcommand.
+"""
+
+from repro.diagnose.driver import DEFAULT_FACTOR, run_diagnosis
+from repro.diagnose.perturb import (
+    PERTURB_SPECS,
+    PerturbSpec,
+    resolve_knobs,
+)
+from repro.diagnose.report import render_diagnosis
+from repro.diagnose.saturation import (
+    DEFAULT_STEPS,
+    DEFAULT_SUSTAIN_FRAC,
+    SaturationSearch,
+    find_saturation,
+)
+
+__all__ = [
+    "DEFAULT_FACTOR",
+    "DEFAULT_STEPS",
+    "DEFAULT_SUSTAIN_FRAC",
+    "PERTURB_SPECS",
+    "PerturbSpec",
+    "SaturationSearch",
+    "find_saturation",
+    "render_diagnosis",
+    "resolve_knobs",
+    "run_diagnosis",
+]

@@ -1,0 +1,171 @@
+"""The perturbation-knob registry.
+
+Each :class:`PerturbSpec` names one modeled cost the diagnosis can
+scale up -- copy engine throughput, socket-lock hold time, interrupt
+overhead, L2 capacity, TLB miss cost, NIC coalesce timer -- and knows
+how to express "this cost, ``factor`` times worse" as an
+:class:`~repro.core.experiment.ExperimentConfig` patch (the
+``cost_overrides`` / ``net_overrides`` / ``cpu_overrides`` fields).
+
+Perturbations only make costs *worse* (``factor > 1``): the simulator
+charges cycles forward, so a cheaper-than-baseline knob could drive a
+CPU clock backwards.  Capacity knobs (L2 size) therefore *shrink* and
+report the equivalent cost factor they actually applied via
+``effective_factor``: the L2 knob halves the cache (the set-index
+function needs a power-of-two set count, so halving is the smallest
+legal step) and reports 2.0 no matter what factor was requested.
+"""
+
+from repro.cpu.params import CostModel, CpuParams
+
+#: Requested multiplicative severity must be a strict cost increase.
+MIN_FACTOR = 1.0
+
+
+class PerturbSpec:
+    """One named knob: which cost it scales and how to apply it.
+
+    ``bin_hint`` names the paper's Table 1 stack bin the knob's cost
+    lands in (``None`` for cross-cutting knobs like cache capacity),
+    letting the report cross-check the machine-generated ranking
+    against the paper's manual binning.  ``affinity_sensitive`` marks
+    knobs whose cost affinity itself is supposed to remove (Table 3's
+    Interface/Scheduling story): their sensitivity should *drop* when
+    the same diagnosis runs under ``full`` affinity.
+    """
+
+    def __init__(self, name, description, bin_hint, build,
+                 affinity_sensitive=False):
+        self.name = name
+        self.description = description
+        self.bin_hint = bin_hint
+        self.affinity_sensitive = affinity_sensitive
+        self._build = build
+
+    def apply(self, factor):
+        """Return ``(config_patch, effective_factor)`` for ``factor``.
+
+        ``config_patch`` maps ExperimentConfig override-field names to
+        dicts to merge; ``effective_factor`` is the cost multiplier the
+        patch actually realizes (== ``factor`` except for quantized
+        capacity knobs).
+        """
+        if factor <= MIN_FACTOR:
+            raise ValueError(
+                "perturbation factor must be > 1 (costs only scale up); "
+                "got %r for knob %s" % (factor, self.name)
+            )
+        return self._build(factor)
+
+    def __repr__(self):
+        return "PerturbSpec(%s)" % self.name
+
+
+def _copy_engine(factor):
+    return {"net_overrides": {"copy_cost_scale": factor}}, factor
+
+
+def _lock_hold(factor):
+    return {"net_overrides": {"lock_hold_scale": factor}}, factor
+
+
+def _irq_overhead(factor):
+    base = CostModel().machine_clear
+    return (
+        {"cost_overrides": {"machine_clear": int(round(base * factor))}},
+        factor,
+    )
+
+
+def _l2_size(factor):
+    # Quantized: the cache index needs a power-of-two set count, so the
+    # smallest legal shrink is a halving -- report the 2x cost factor
+    # it corresponds to, whatever severity was requested.
+    base = CpuParams().l2.size
+    return {"cpu_overrides": {"l2_size": base // 2}}, 2.0
+
+
+def _tlb_miss(factor):
+    costs = CostModel()
+    return (
+        {"cost_overrides": {
+            "dtlb_walk": int(round(costs.dtlb_walk * factor)),
+            "itlb_walk": int(round(costs.itlb_walk * factor)),
+        }},
+        factor,
+    )
+
+
+def _nic_coalesce(factor):
+    from repro.net.params import NetParams
+
+    base = NetParams().coalesce_us
+    return (
+        {"net_overrides": {"coalesce_us": int(round(base * factor))}},
+        factor,
+    )
+
+
+#: Registry order is the default knob order everywhere (CLI, report).
+PERTURB_SPECS = {
+    spec.name: spec
+    for spec in (
+        PerturbSpec(
+            "copy-engine",
+            "copy bytes/cycle (per-line fill cost of every payload "
+            "copy and software checksum)",
+            bin_hint="copies",
+            build=_copy_engine,
+        ),
+        PerturbSpec(
+            "lock-hold",
+            "socket-lock hold time (cycles inside every lock_sock "
+            "critical section)",
+            bin_hint="locks",
+            build=_lock_hold,
+            affinity_sensitive=True,
+        ),
+        PerturbSpec(
+            "irq-overhead",
+            "IRQ/softirq interruption overhead (machine-clear flush "
+            "cost per interrupt and IPI)",
+            bin_hint="driver",
+            build=_irq_overhead,
+            affinity_sensitive=True,
+        ),
+        PerturbSpec(
+            "l2-size",
+            "L2 cache capacity (halved; quantized to a power-of-two "
+            "set count)",
+            bin_hint=None,
+            build=_l2_size,
+        ),
+        PerturbSpec(
+            "tlb-miss",
+            "TLB miss cost (ITLB and DTLB page-walk cycles)",
+            bin_hint=None,
+            build=_tlb_miss,
+        ),
+        PerturbSpec(
+            "nic-coalesce",
+            "NIC interrupt coalesce timer (microseconds before an "
+            "undersized batch interrupts)",
+            bin_hint="driver",
+            build=_nic_coalesce,
+        ),
+    )
+}
+
+
+def resolve_knobs(names=None):
+    """Map knob names to specs, in registry order; ``None`` = all."""
+    if names is None:
+        return list(PERTURB_SPECS.values())
+    unknown = [n for n in names if n not in PERTURB_SPECS]
+    if unknown:
+        raise ValueError(
+            "unknown knob(s) %s; choose from %s"
+            % (", ".join(unknown), ", ".join(PERTURB_SPECS))
+        )
+    wanted = set(names)
+    return [s for n, s in PERTURB_SPECS.items() if n in wanted]

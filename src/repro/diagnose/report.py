@@ -1,0 +1,186 @@
+"""Rendering and cross-checking of a diagnosis report.
+
+``render_diagnosis`` turns :func:`~repro.diagnose.driver.run_diagnosis`
+output into the repo's text-table house style, then cross-checks the
+machine-generated ranking against the paper:
+
+* **Table 1**: at the 64KB RX corner under ``none``, the paper's
+  manual binning says copies dominate -- so the top-ranked knob's bin
+  hint should match the largest measured stack bin.
+* **Table 3**: affinity exists to shrink the Interface/Scheduling
+  costs (remote wakeups, cross-CPU interrupts, lock bouncing) -- so
+  affinity-sensitive knobs (irq-overhead, lock-hold) should show
+  *lower* sensitivity under ``full`` than under ``none``.
+
+Failed cells (``None`` fields, from quarantined runs) render as
+``--`` / FAIL and never raise -- the same contract as ``_cell_attr``
+in :mod:`repro.core.metrics`.
+"""
+
+from repro.analysis.tables import TextTable
+from repro.core.characterization import BIN_LABELS
+
+
+def _fmt(value, spec="%.1f", none="--"):
+    return none if value is None else spec % value
+
+
+def _largest_bin(bins_pct):
+    """Name of the biggest stack bin, or ``None``."""
+    if not bins_pct:
+        return None
+    # Sort by (share desc, name) so exact ties break deterministically.
+    return max(sorted(bins_pct), key=lambda b: bins_pct[b])
+
+
+def _key_order(report):
+    params = report.get("params", {})
+    return [
+        "%s/%s" % (d, m)
+        for d in params.get("directions", [])
+        for m in params.get("modes", [])
+    ] or sorted(report.get("baselines", {}))
+
+
+def render_diagnosis(report):
+    """Render the full diagnosis as text (tables + cross-checks)."""
+    out = []
+    params = report.get("params", {})
+    size = params.get("message_size")
+    cells = report.get("cells", [])
+    baselines = report.get("baselines", {})
+    knob_info = report.get("knob_info", {})
+    ranking = report.get("ranking", {})
+
+    for key in _key_order(report):
+        base = baselines.get(key, {})
+        direction, _, mode = key.partition("/")
+        title = "Diagnosis: %s %sB, affinity=%s" % (
+            direction.upper(), size, mode
+        )
+        out.append(title)
+        if base.get("failed") or base.get("closed_loop_gbps") is None:
+            out.append("  baseline FAIL (ceiling probe did not complete)")
+            out.append("")
+            continue
+        out.append(
+            "  closed-loop %s Gb/s; saturation %s Gb/s at %s Gb/s "
+            "offered (%d probes)"
+            % (
+                _fmt(base.get("closed_loop_gbps"), "%.3f"),
+                _fmt(base.get("saturation_gbps"), "%.3f"),
+                _fmt(base.get("saturation_offered_gbps"), "%.3f"),
+                len(base.get("probes") or ()),
+            )
+        )
+
+        table = TextTable(
+            ("knob", "bin", "x cost", "Mb/s", "delta %", "sens"),
+        )
+        ranked = ranking.get(key, [])
+        order = ranked + [
+            c["knob"] for c in cells
+            if "%s/%s" % (c["direction"], c["mode"]) == key
+            and c["knob"] not in ranked
+        ]
+        by_knob = {
+            c["knob"]: c for c in cells
+            if "%s/%s" % (c["direction"], c["mode"]) == key
+        }
+        for name in order:
+            cell = by_knob.get(name)
+            if cell is None:
+                continue
+            bin_hint = knob_info.get(name, {}).get("bin")
+            mbps = (
+                None if cell["perturbed_gbps"] is None
+                else cell["perturbed_gbps"] * 1000.0
+            )
+            table.add_row(
+                name,
+                BIN_LABELS.get(bin_hint, "--") if bin_hint else "--",
+                _fmt(cell.get("effective_factor"), "%.2f"),
+                _fmt(mbps, "%.0f", none="FAIL"),
+                _fmt(cell.get("delta_pct"), "%+.1f", none="FAIL"),
+                _fmt(cell.get("sensitivity"), "%.3f", none="--"),
+            )
+        out.append(table.render())
+        out.append(_table1_crosscheck(key, base, ranking, knob_info))
+        out.append("")
+
+    shift = _table3_crosscheck(report)
+    if shift:
+        out.append(shift)
+    return "\n".join(out).rstrip() + "\n"
+
+
+def _table1_crosscheck(key, base, ranking, knob_info):
+    """One line comparing the top knob's bin to the largest bin."""
+    ranked = ranking.get(key, [])
+    if not ranked:
+        return "  cross-check vs Table 1: no ranked knobs (all cells failed)"
+    top = ranked[0]
+    hint = knob_info.get(top, {}).get("bin")
+    largest = _largest_bin(base.get("bins_pct"))
+    if hint is None or largest is None:
+        return (
+            "  cross-check vs Table 1: top knob %r is cross-cutting "
+            "(no single bin)" % top
+        )
+    share = base["bins_pct"].get(largest)
+    verdict = "CONSISTENT" if hint == largest else "DIVERGENT"
+    return (
+        "  cross-check vs Table 1: top knob %r maps to bin %r; largest "
+        "measured bin is %r (%s%% of stack cycles) -- %s"
+        % (
+            top, BIN_LABELS.get(hint, hint),
+            BIN_LABELS.get(largest, largest),
+            _fmt(None if share is None else share * 100.0, "%.1f"),
+            verdict,
+        )
+    )
+
+
+def _table3_crosscheck(report):
+    """Affinity-shift lines: affinity-sensitive knobs should be
+    demoted (lower sensitivity) under ``full`` than under ``none``."""
+    params = report.get("params", {})
+    modes = params.get("modes", [])
+    if "none" not in modes or "full" not in modes:
+        return ""
+    cells = report.get("cells", [])
+    knob_info = report.get("knob_info", {})
+    sens = {
+        (c["knob"], c["direction"], c["mode"]): c["sensitivity"]
+        for c in cells
+    }
+    lines = ["affinity cross-check (Table 3: Interface/Scheduling "
+             "bins shrink under full affinity):"]
+    emitted = False
+    for d in params.get("directions", []):
+        for name, info in knob_info.items():
+            if not info.get("affinity_sensitive"):
+                continue
+            none_s = sens.get((name, d, "none"))
+            full_s = sens.get((name, d, "full"))
+            if none_s is None or full_s is None:
+                lines.append(
+                    "  %s %-12s sensitivity %s (none) -> %s (full) -- "
+                    "incomplete"
+                    % (d, name, _fmt(none_s, "%.3f"),
+                       _fmt(full_s, "%.3f"))
+                )
+                emitted = True
+                continue
+            verdict = (
+                "demoted, as Table 3 predicts"
+                if full_s < none_s else "NOT demoted"
+            )
+            lines.append(
+                "  %s %-12s sensitivity %.3f (none) -> %.3f (full) -- %s"
+                % (d, name, none_s, full_s, verdict)
+            )
+            emitted = True
+    if not emitted:
+        return ""
+    return "\n".join(lines)

@@ -24,8 +24,26 @@ from repro.net.params import (
 )
 
 
+def _scale_extra(ctx, nbytes, cost_scale):
+    """Extra stall cycles modelling a copy engine slowed by
+    ``cost_scale``.
+
+    The copy loops are memory-bound: their cycles are dominated by one
+    (DMA-cold or user-cold) line fill per 64 bytes moved, so "copy
+    bytes/cycle drops by x" is, to first order, "each line costs
+    ``(x - 1) * llc_miss`` more".  Charged as extra stall cycles so
+    retired-instruction counts (and hence CPI/MPI accounting) keep
+    their shape.  ``cost_scale == 1.0`` charges nothing and leaves the
+    baseline byte-identical.
+    """
+    if cost_scale == 1.0:
+        return 0
+    return int((cost_scale - 1.0) * lines_for(nbytes)
+               * ctx.cpu.costs.llc_miss)
+
+
 def charge_tx_copy(ctx, spec, src_range, dst_range, nbytes,
-                   csum_offload=False):
+                   csum_offload=False, cost_scale=1.0):
     """``csum_and_copy_from_user``: user buffer -> skb, with checksum.
 
     ``src_range``/``dst_range`` are ``(addr, size)`` pairs; the
@@ -44,10 +62,12 @@ def charge_tx_copy(ctx, spec, src_range, dst_range, nbytes,
         instructions,
         reads=[src_range],
         writes=[dst_range],
+        extra_cycles=_scale_extra(ctx, nbytes, cost_scale),
     )
 
 
-def charge_rx_copy(ctx, spec, src_range, dst_range, nbytes):
+def charge_rx_copy(ctx, spec, src_range, dst_range, nbytes,
+                   cost_scale=1.0):
     """``__copy_to_user`` via ``rep movl``: skb -> user buffer.
 
     Retired-instruction count is tiny relative to data moved; the
@@ -61,10 +81,11 @@ def charge_rx_copy(ctx, spec, src_range, dst_range, nbytes):
         instructions,
         reads=[src_range],
         writes=[dst_range],
+        extra_cycles=_scale_extra(ctx, nbytes, cost_scale),
     )
 
 
-def charge_rx_csum(ctx, spec, payload_range, nbytes):
+def charge_rx_csum(ctx, spec, payload_range, nbytes, cost_scale=1.0):
     """``csum_partial``: software checksum of received payload.
 
     Only charged when the NIC cannot verify receive checksums; reads
@@ -75,4 +96,5 @@ def charge_rx_csum(ctx, spec, payload_range, nbytes):
         spec,
         instructions,
         reads=[payload_range],
+        extra_cycles=_scale_extra(ctx, nbytes, cost_scale),
     )

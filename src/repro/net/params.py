@@ -37,6 +37,8 @@ class NetParams:
         hz=CYCLES_PER_SECOND_2GHZ,
         tx_csum_offload=False,
         rx_csum_offload=True,
+        copy_cost_scale=1.0,
+        lock_hold_scale=1.0,
     ):
         self.mtu = mtu
         self.mss = mss
@@ -59,6 +61,17 @@ class NetParams:
         # receive checksum verified by the NIC.
         self.tx_csum_offload = tx_csum_offload
         self.rx_csum_offload = rx_csum_offload
+        # Diagnosis perturbation knobs (repro.diagnose): multiplicative
+        # scales on the copy engine's per-line cost and on the cycles a
+        # process holds a socket lock.  1.0 (the default) is charge-
+        # for-charge identical to a stack built before these existed.
+        if copy_cost_scale < 1.0 or lock_hold_scale < 1.0:
+            # Costs only scale *up*: a factor below one would subtract
+            # cycles from already-charged work and could drive a CPU's
+            # clock backwards.
+            raise ValueError("cost scales must be >= 1.0")
+        self.copy_cost_scale = copy_cost_scale
+        self.lock_hold_scale = lock_hold_scale
 
     @property
     def cycles_per_wire_byte(self):
@@ -227,6 +240,11 @@ RX_COPY_INSTR_PER_LINE = 1
 TX_COPY_SETUP_INSTRUCTIONS = 100
 RX_COPY_SETUP_INSTRUCTIONS = 150
 COPY_SETUP_INSTRUCTIONS = 100
+
+#: Nominal cycles a process-context socket-lock critical section holds
+#: the lock (lock_sock charge + the engine work done under ownership);
+#: the diagnosis lock-hold knob scales hold time against this base.
+LOCK_HOLD_NOMINAL_CYCLES = 450
 
 
 def register_profiles(functions):

@@ -77,6 +77,13 @@ class Peer:
         self.peer_rcv_window = params.max_window
         self._pump_scheduled = False
         self.total_sent = 0
+        #: Offered-load pacing (repro.diagnose saturation search):
+        #: cycles per payload byte at the paced rate, or ``None`` for
+        #: the default window-limited (closed-loop) firehose.
+        self._pace_cpb = None
+        self._pace_t0 = None
+        self._pace_sent = 0
+        self._pace_event = None
         #: Loss recovery (source mode): off by default -- the loss-free
         #: baseline's event sequence must not change -- and enabled by
         #: the fault injector, which makes the peer behave like a
@@ -191,10 +198,35 @@ class Peer:
     # Source: stream data into the SUT.
     # ------------------------------------------------------------------
 
+    def set_pacing(self, gbps):
+        """Cap this source's offered load at ``gbps`` (payload rate).
+
+        The pump then releases segments on a cycle-accurate token
+        schedule instead of bursting to the window edge, with
+        work-conserving catch-up: a pump delayed by a closed window
+        sends back-to-back until the cumulative schedule is restored,
+        so the *average* offered rate is exactly ``gbps`` whenever the
+        receiver can absorb it.  Retransmissions bypass pacing (they
+        replace, not add, offered bytes).  Call before
+        :meth:`start_stream`; ``None`` restores closed-loop behavior.
+        """
+        if gbps is None:
+            self._pace_cpb = None
+            return
+        if gbps <= 0:
+            raise ValueError("pacing rate must be positive")
+        self._pace_cpb = self.params.hz / (gbps * 1e9 / 8.0)
+
+    def _pace_fire(self):
+        self._pace_event = None
+        self._pump()
+
     def start_stream(self):
         """Begin transmitting (source mode)."""
         if self.mode != "source":
             raise RuntimeError("start_stream on a sink peer")
+        if self._pace_cpb is not None and self._pace_t0 is None:
+            self._pace_t0 = self.engine.now
         self._pump()
 
     def _source_on_frame(self, packet):
@@ -221,9 +253,22 @@ class Peer:
         self._pump()
 
     def _pump(self):
-        """Send while the receiver's window has room."""
+        """Send while the receiver's window has room (and, when paced,
+        while the token schedule has released the next segment)."""
         mss = self.params.mss
+        cpb = self._pace_cpb
         while self.snd_nxt + mss <= self.snd_una + self.peer_rcv_window:
+            if cpb is not None:
+                due = self._pace_t0 + int((self._pace_sent + mss) * cpb)
+                now = self.engine.now
+                if due > now:
+                    if self._pace_event is None:
+                        self._pace_event = self.engine.schedule_after(
+                            due - now, self._pace_fire,
+                            label="peer%d pace" % self.conn_id,
+                        )
+                    break
+                self._pace_sent += mss
             self.nic.deliver_frame(
                 data_packet(self.conn_id, self.snd_nxt, mss)
             )

@@ -12,7 +12,12 @@ from repro.kernel.timers import KernelTimer
 from repro.net.copies import charge_rx_copy
 from repro.net.dev import SoftnetData
 from repro.net.nic import Nic
-from repro.net.params import NetParams, base_instructions, register_profiles
+from repro.net.params import (
+    LOCK_HOLD_NOMINAL_CYCLES,
+    NetParams,
+    base_instructions,
+    register_profiles,
+)
 from repro.net.peer import Peer, PeerMux
 from repro.net.skbuff import SkbPools
 from repro.net.sock import Sock
@@ -106,6 +111,13 @@ class NetworkStack:
         self.n_queues = n_queues
         #: Set by FaultInjector.attach(); None in fault-free runs.
         self.fault_injector = None
+        # Diagnosis lock-hold knob: extra cycles spent inside every
+        # process-context socket critical section, scaled against the
+        # nominal hold length.  0 at the default scale of 1.0, so the
+        # baseline charge sequence is unchanged.
+        self._lock_hold_extra = int(round(
+            (self.params.lock_hold_scale - 1.0) * LOCK_HOLD_NOMINAL_CYCLES
+        ))
         self.specs = register_profiles(machine.functions)
         self.pools = SkbPools(machine, self.params)
         self.softnet = [
@@ -363,6 +375,7 @@ class NetworkStack:
             self.specs["sock_sendmsg"],
             20,
             writes=[sock.buf_write(32)],
+            extra_cycles=self._lock_hold_extra,
         )
         sock.owned = True
         ctx.unlock(sock.lock)
@@ -549,6 +562,7 @@ class NetworkStack:
                 skb.payload_range(skb.consumed, chunk),
                 conn.user_buffer.field(copied % conn.user_buffer.size, chunk),
                 chunk,
+                cost_scale=self.params.copy_cost_scale,
             )
             tracer = self.machine.tracer
             if tracer is not None:

@@ -235,7 +235,8 @@ def tcp_rcv_established(ctx, stack, conn, skb):
         from repro.net.copies import charge_rx_csum
 
         charge_rx_csum(ctx, specs["csum_partial"],
-                       skb.payload_range(0, skb.len), skb.len)
+                       skb.payload_range(0, skb.len), skb.len,
+                       cost_scale=params.copy_cost_scale)
     ctx.charge(
         specs["tcp_rcv_established"],
         base_instructions("tcp_rcv_established"),

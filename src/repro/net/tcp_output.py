@@ -86,6 +86,7 @@ def tcp_sendmsg(ctx, stack, conn, nbytes):
             skb.payload_range(skb.len, chunk),
             chunk,
             csum_offload=params.tx_csum_offload,
+            cost_scale=params.copy_cost_scale,
         )
         skb.len += chunk
         skb.end_seq = skb.seq + skb.len

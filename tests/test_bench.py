@@ -1,0 +1,35 @@
+"""The bench harness's reporting path (not the timings themselves)."""
+
+import importlib.util
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def bench():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    spec = importlib.util.spec_from_file_location(
+        "bench", os.path.join(root, "tools", "bench.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDefaultOutPath:
+    def test_filename_carries_date_and_time(self, bench):
+        path = bench.default_out_path("2026-08-07T12:34:56", perf_dir="/p")
+        assert path == os.path.join("/p", "BENCH_2026-08-07T123456.json")
+
+    def test_same_day_runs_get_distinct_files(self, bench):
+        # The old day-only name made a second run the same day silently
+        # clobber the first report.
+        first = bench.default_out_path("2026-08-07T09:00:00")
+        second = bench.default_out_path("2026-08-07T17:30:00")
+        assert first != second
+
+    def test_no_colons_in_filename(self, bench):
+        path = bench.default_out_path("2026-08-07T12:34:56")
+        assert ":" not in os.path.basename(path)
+        assert path.startswith(bench.PERF_DIR)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import main
+from repro.core.metrics import run_size_sweep
 from repro.core.report import render_scale_table
 from repro.core.scale import run_scale_sweep, scaling_efficiency
 
@@ -53,6 +54,36 @@ class TestEfficiency:
         partial = {(2, 16384, "rss"): None}
         eff = scaling_efficiency(partial, SIZES, (2, 4), "rss")
         assert eff[16384] == [None, None]
+
+    def test_unsorted_cpus_normalize_against_smallest(self, sweep):
+        # --cpus 4 2 must still use the 2-CPU machine as the baseline
+        # (min(cpus)), not whichever size was listed first.
+        eff = scaling_efficiency(sweep, SIZES, (4, 2), "rss")
+        assert eff[16384][1] == pytest.approx(1.0)
+        assert eff[16384][0] == pytest.approx(
+            scaling_efficiency(sweep, SIZES, CPUS, "rss")[16384][1]
+        )
+
+
+class TestDedupe:
+    SMALL = dict(n_connections=2, warmup_ms=1, measure_ms=2, seed=7)
+
+    def test_scale_sweep_collapses_duplicate_cells(self):
+        with pytest.warns(RuntimeWarning, match="duplicate sweep cells"):
+            sweep = run_scale_sweep(
+                "rx", cpus=(2, 2), sizes=(16384,), modes=("rss",),
+                n_queues=2, **self.SMALL
+            )
+        assert list(sweep) == [(2, 16384, "rss")]
+        assert sweep[(2, 16384, "rss")] is not None
+
+    def test_size_sweep_collapses_duplicate_cells(self):
+        with pytest.warns(RuntimeWarning, match="duplicate sweep cells"):
+            sweep = run_size_sweep(
+                "rx", sizes=(4096, 4096), modes=("none",), **self.SMALL
+            )
+        assert list(sweep) == [(4096, "none")]
+        assert sweep[(4096, "none")] is not None
 
 
 class TestRender:

@@ -9,7 +9,7 @@ each one end to end with ``time.process_time`` (CPU time: immune to
 scheduler preemption, the dominant noise source on shared runners).
 Each cell is repeated and summarized as median and p90 seconds plus
 simulated events per wall-second, then written to
-``benchmarks/perf/BENCH_<date>.json``.
+``benchmarks/perf/BENCH_<date>T<time>.json``.
 
 Regression gating
 -----------------
@@ -44,6 +44,19 @@ from repro.core.experiment import ExperimentConfig, run_experiment  # noqa: E402
 HERE = os.path.dirname(os.path.abspath(__file__))
 PERF_DIR = os.path.join(HERE, "..", "benchmarks", "perf")
 BASELINE = os.path.join(PERF_DIR, "baseline.json")
+
+
+def default_out_path(timestamp, perf_dir=None):
+    """Default report path for a run stamped ``timestamp``.
+
+    The filename carries date *and* time (colons stripped -- they are
+    path separators on some filesystems): a day-only key meant a second
+    run the same day silently clobbered the first report.
+    """
+    return os.path.join(
+        perf_dir or PERF_DIR,
+        "BENCH_%s.json" % timestamp.replace(":", ""),
+    )
 
 #: The full matrix: the paper's four placement policies crossed with
 #: small / medium / large transactions (1KB stresses per-charge
@@ -183,9 +196,13 @@ def run_matrix(args):
               % (row["mode"], row["size"], row["median_s"], row["p90_s"],
                  row["events_per_s"], row["score"]),
               file=sys.stderr)
+    now = datetime.datetime.now()
     return {
         "schema": 1,
-        "date": datetime.date.today().isoformat(),
+        "date": now.date().isoformat(),
+        # Second-resolution stamp so same-day reports get distinct
+        # default filenames (see default_out_path).
+        "timestamp": now.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": "%d.%d.%d" % sys.version_info[:3],
         "direction": args.direction,
         "calibration_s": round(calib, 4),
@@ -247,15 +264,13 @@ def main(argv=None):
                         help="write this run's report as the new baseline")
     parser.add_argument("--out", default=None,
                         help="output JSON path (default "
-                             "benchmarks/perf/BENCH_<date>.json)")
+                             "benchmarks/perf/BENCH_<date>T<time>.json)")
     args = parser.parse_args(argv)
 
     report = run_matrix(args)
 
     os.makedirs(PERF_DIR, exist_ok=True)
-    out = args.out or os.path.join(
-        PERF_DIR, "BENCH_%s.json" % report["date"]
-    )
+    out = args.out or default_out_path(report["timestamp"])
     with open(out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
