@@ -28,8 +28,16 @@ Examples::
     # cost, rank by throughput lost (writes JSON into results/).
     repro-affinity diagnose --direction rx --modes none,full
 
+    # Crash-safe studies: sweep/scale/diagnose journal every cell into
+    # results/runs/<run_id>/; an interrupted (^C, SIGTERM, SIGKILL,
+    # power loss) study resumes where it stopped, byte-identically.
+    repro-affinity runs list
+    repro-affinity runs resume 20260808T120000-scale-a1b2c3
+    repro-affinity runs query --mode rss --cpus 16
+
 Results are cached in ``.repro-results/`` (override with
-``REPRO_RESULTS_DIR``).
+``REPRO_RESULTS_DIR``); run directories live under ``results/runs/``
+(override with ``REPRO_RUNS_DIR``).
 """
 
 import argparse
@@ -67,6 +75,15 @@ from repro.diagnose import (
     render_diagnosis,
     run_diagnosis,
 )
+from repro.runstore import (
+    GracefulShutdown,
+    LockHeldError,
+    RunStore,
+    RunStoreError,
+    ShutdownRequested,
+    atomic_write_text,
+)
+from repro.runstore.cli import register as register_runs_cli
 from repro.trace import (
     LatencyStats,
     TraceOptions,
@@ -107,6 +124,16 @@ def _add_common(parser):
              "reorder_flush_us, direction, rto_ms, drop_every_n)")
 
 
+def _add_runstore(parser):
+    parser.add_argument(
+        "--run-id", default=None,
+        help="explicit run-store id under results/runs/ (default: a "
+             "generated timestamped id)")
+    parser.add_argument(
+        "--no-runstore", action="store_true",
+        help="don't journal this study into the run store")
+
+
 def _config(args, affinity):
     return ExperimentConfig(
         direction=args.direction,
@@ -131,6 +158,53 @@ def _run(args, affinity):
         cache=cache,
         progress=lambda msg: print("[repro] %s" % msg, file=sys.stderr),
     )
+
+
+def _run_study(args, command, body):
+    """Drive one study command under the run store.
+
+    ``body(store)`` does the actual work and returns the exit code;
+    ``store`` is ``None`` when journaling is disabled
+    (``--no-runstore``).  Otherwise the study gets a crash-safe run
+    directory (journal + manifest + lock), SIGINT/SIGTERM are turned
+    into a clean checkpoint (status ``interrupted``, exit
+    ``128+signum``) instead of a torn teardown, and the terminal
+    status lands in the manifest and the cross-run index.  A resumed
+    run arrives with the store pre-opened in ``args._store``.
+    """
+    if getattr(args, "no_runstore", False):
+        return body(None)
+    store = getattr(args, "_store", None)
+    if store is None:
+        recorded = {
+            k: v for k, v in vars(args).items()
+            if k != "func" and not k.startswith("_")
+        }
+        try:
+            store = RunStore.create(
+                command, args=recorded,
+                run_id=getattr(args, "run_id", None),
+            )
+        except (RunStoreError, LockHeldError) as exc:
+            print("[repro] %s" % exc, file=sys.stderr)
+            return 2
+    print("[repro] run %s -> %s" % (store.run_id, store.directory),
+          file=sys.stderr)
+    try:
+        with GracefulShutdown():
+            rc = body(store)
+    except ShutdownRequested as exc:
+        print("[repro] %s received; run %s checkpointed -- resume "
+              "with: repro-affinity runs resume %s"
+              % (exc.name, store.run_id, store.run_id),
+              file=sys.stderr)
+        store.finalize("interrupted")
+        return 128 + exc.signum
+    except BaseException:
+        store.finalize("failed")
+        raise
+    store.finalize("completed" if rc == 0 else "incomplete")
+    return rc
 
 
 def cmd_run(args):
@@ -191,32 +265,44 @@ def cmd_compare(args):
 def cmd_sweep(args):
     cache = None if args.no_cache else DEFAULT_CACHE
     sizes = tuple(args.sizes)
-    runner = SweepRunner(
-        jobs=args.jobs if args.jobs > 0 else default_jobs(),
-        cache=cache,
-        progress=lambda msg: print("[repro] %s" % msg, file=sys.stderr),
-        timeout=args.cell_timeout,
-        retries=args.retries,
-    )
-    sweep = run_size_sweep(
-        args.direction,
-        sizes=sizes,
-        runner=runner,
-        faults=args.faults,
-        n_connections=args.connections,
-        n_cpus=args.cpus,
-        warmup_ms=args.warmup_ms,
-        measure_ms=args.measure_ms,
-        seed=args.seed,
-    )
-    print(render_figure3(sweep, sizes, AFFINITY_MODES, args.direction))
-    print()
-    print(render_figure4(sweep, sizes, AFFINITY_MODES, args.direction))
-    if not runner.report.ok:
-        print("[repro] sweep incomplete: %s" % runner.report.summary(),
-              file=sys.stderr)
-        return 3
-    return 0
+
+    def body(store):
+        runner = SweepRunner(
+            jobs=args.jobs if args.jobs > 0 else default_jobs(),
+            cache=cache,
+            progress=lambda msg: print("[repro] %s" % msg,
+                                       file=sys.stderr),
+            timeout=args.cell_timeout,
+            retries=args.retries,
+            journal=store,
+        )
+        sweep = run_size_sweep(
+            args.direction,
+            sizes=sizes,
+            runner=runner,
+            faults=args.faults,
+            n_connections=args.connections,
+            n_cpus=args.cpus,
+            warmup_ms=args.warmup_ms,
+            measure_ms=args.measure_ms,
+            seed=args.seed,
+        )
+        report = (
+            render_figure3(sweep, sizes, AFFINITY_MODES, args.direction)
+            + "\n\n"
+            + render_figure4(sweep, sizes, AFFINITY_MODES, args.direction)
+            + "\n"
+        )
+        print(report, end="")
+        if store is not None:
+            store.write_artifact("report.txt", report)
+        if not runner.report.ok:
+            print("[repro] sweep incomplete: %s"
+                  % runner.report.summary(), file=sys.stderr)
+            return 3
+        return 0
+
+    return _run_study(args, "sweep", body)
 
 
 def cmd_scale(args):
@@ -229,40 +315,49 @@ def cmd_scale(args):
             print("[repro] unknown steering mode %r (choose from %s)"
                   % (mode, ", ".join(SCALE_MODES)), file=sys.stderr)
             return 2
-    runner = SweepRunner(
-        jobs=args.jobs if args.jobs > 0 else default_jobs(),
-        cache=cache,
-        progress=lambda msg: print("[repro] %s" % msg, file=sys.stderr),
-        timeout=args.cell_timeout,
-        retries=args.retries,
-    )
-    sweep = run_scale_sweep(
-        args.direction,
-        cpus=cpus,
-        sizes=sizes,
-        modes=modes,
-        n_queues=args.queues,
-        n_connections=args.connections,
-        runner=runner,
-        warmup_ms=args.warmup_ms,
-        measure_ms=args.measure_ms,
-        seed=args.seed,
-    )
-    print(render_scale_table(sweep, cpus, sizes, modes,
-                             args.direction, args.queues))
-    for mode in modes:
-        eff = scaling_efficiency(sweep, sizes, cpus, mode)
-        for size in sizes:
-            cells = " ".join(
-                "--" if e is None else "%.2f" % e for e in eff[size]
-            )
-            print("scaling efficiency %-13s %6dB: %s"
-                  % (mode, size, cells))
-    if not runner.report.ok:
-        print("[repro] scale sweep incomplete: %s" % runner.report.summary(),
-              file=sys.stderr)
-        return 3
-    return 0
+    def body(store):
+        runner = SweepRunner(
+            jobs=args.jobs if args.jobs > 0 else default_jobs(),
+            cache=cache,
+            progress=lambda msg: print("[repro] %s" % msg,
+                                       file=sys.stderr),
+            timeout=args.cell_timeout,
+            retries=args.retries,
+            journal=store,
+        )
+        sweep = run_scale_sweep(
+            args.direction,
+            cpus=cpus,
+            sizes=sizes,
+            modes=modes,
+            n_queues=args.queues,
+            n_connections=args.connections,
+            runner=runner,
+            warmup_ms=args.warmup_ms,
+            measure_ms=args.measure_ms,
+            seed=args.seed,
+        )
+        lines = [render_scale_table(sweep, cpus, sizes, modes,
+                                    args.direction, args.queues)]
+        for mode in modes:
+            eff = scaling_efficiency(sweep, sizes, cpus, mode)
+            for size in sizes:
+                row = " ".join(
+                    "--" if e is None else "%.2f" % e for e in eff[size]
+                )
+                lines.append("scaling efficiency %-13s %6dB: %s"
+                             % (mode, size, row))
+        report = "\n".join(lines) + "\n"
+        print(report, end="")
+        if store is not None:
+            store.write_artifact("report.txt", report)
+        if not runner.report.ok:
+            print("[repro] scale sweep incomplete: %s"
+                  % runner.report.summary(), file=sys.stderr)
+            return 3
+        return 0
+
+    return _run_study(args, "scale", body)
 
 
 def cmd_diagnose(args):
@@ -290,59 +385,75 @@ def cmd_diagnose(args):
               file=sys.stderr)
         return 2
     cache = None if args.no_cache else DEFAULT_CACHE
-    runner = None
-    if args.jobs != 1:
-        runner = SweepRunner(
-            jobs=args.jobs if args.jobs > 0 else default_jobs(),
+
+    def body(store):
+        runner = None
+        if args.jobs != 1:
+            runner = SweepRunner(
+                jobs=args.jobs if args.jobs > 0 else default_jobs(),
+                cache=cache,
+                progress=lambda msg: print("[repro] %s" % msg,
+                                           file=sys.stderr),
+                timeout=args.cell_timeout,
+                retries=args.retries,
+                journal=store,
+            )
+        report = run_diagnosis(
+            directions=(args.direction,),
+            modes=modes,
+            knobs=knobs,
+            factor=args.factor,
+            message_size=args.size,
+            n_connections=args.connections,
+            n_cpus=args.cpus,
+            warmup_ms=args.warmup_ms,
+            measure_ms=args.measure_ms,
+            seed=args.seed,
+            steps=args.steps,
+            sustain_frac=args.sustain,
             cache=cache,
-            progress=lambda msg: print("[repro] %s" % msg, file=sys.stderr),
-            timeout=args.cell_timeout,
-            retries=args.retries,
+            runner=runner,
+            progress=lambda msg: print("[repro] %s" % msg,
+                                       file=sys.stderr),
+            runstore=store,
         )
-    report = run_diagnosis(
-        directions=(args.direction,),
-        modes=modes,
-        knobs=knobs,
-        factor=args.factor,
-        message_size=args.size,
-        n_connections=args.connections,
-        n_cpus=args.cpus,
-        warmup_ms=args.warmup_ms,
-        measure_ms=args.measure_ms,
-        seed=args.seed,
-        steps=args.steps,
-        sustain_frac=args.sustain,
-        cache=cache,
-        runner=runner,
-        progress=lambda msg: print("[repro] %s" % msg, file=sys.stderr),
-    )
-    print(render_diagnosis(report))
-    out = args.json
-    if out is None:
-        out = os.path.join(
-            "results",
-            "diagnosis_%s_%d_%s.json"
-            % (args.direction, args.size, "-".join(modes)),
-        )
-    parent = os.path.dirname(out)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(out, "w") as fh:
-        json.dump(report, fh, indent=1, sort_keys=True)
-        fh.write("\n")
-    print("[repro] wrote %s" % out, file=sys.stderr)
-    if runner is not None and not runner.report.ok:
-        print("[repro] diagnosis incomplete: %s" % runner.report.summary(),
-              file=sys.stderr)
-        return 3
-    incomplete = any(
-        b.get("failed") for b in report["baselines"].values()
-    ) or any(c["perturbed_gbps"] is None for c in report["cells"])
-    if incomplete:
-        print("[repro] diagnosis incomplete: some cells failed",
-              file=sys.stderr)
-        return 3
-    return 0
+        print(render_diagnosis(report))
+        text = json.dumps(report, indent=1, sort_keys=True) + "\n"
+        out = args.json
+        if out is None:
+            out = os.path.join(
+                "results",
+                "diagnosis_%s_%d_%s.json"
+                % (args.direction, args.size, "-".join(modes)),
+            )
+        try:
+            parent = os.path.dirname(out)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            atomic_write_text(out, text)
+            print("[repro] wrote %s" % out, file=sys.stderr)
+        except OSError as exc:
+            # Disk full / read-only results dir: the diagnosis itself
+            # succeeded, so report it and keep going (the run-store
+            # artifact below may still land elsewhere).
+            print("[repro] could not write %s (%s); continuing"
+                  % (out, exc), file=sys.stderr)
+        if store is not None:
+            store.write_artifact("diagnosis.json", text)
+        if runner is not None and not runner.report.ok:
+            print("[repro] diagnosis incomplete: %s"
+                  % runner.report.summary(), file=sys.stderr)
+            return 3
+        incomplete = any(
+            b.get("failed") for b in report["baselines"].values()
+        ) or any(c["perturbed_gbps"] is None for c in report["cells"])
+        if incomplete:
+            print("[repro] diagnosis incomplete: some cells failed",
+                  file=sys.stderr)
+            return 3
+        return 0
+
+    return _run_study(args, "diagnose", body)
 
 
 def cmd_trace(args):
@@ -464,6 +575,7 @@ def build_parser():
         "--retries", type=int, default=1,
         help="same-seed re-runs granted to a failing cell before it "
              "is quarantined (default 1)")
+    _add_runstore(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_scale = sub.add_parser(
@@ -504,6 +616,7 @@ def build_parser():
     p_scale.add_argument(
         "--retries", type=int, default=1,
         help="same-seed re-runs granted to a failing cell (default 1)")
+    _add_runstore(p_scale)
     p_scale.set_defaults(func=cmd_scale)
 
     p_diag = sub.add_parser(
@@ -556,6 +669,7 @@ def build_parser():
         "--json", metavar="PATH", default=None,
         help="report JSON path (default results/diagnosis_<direction>"
              "_<size>_<modes>.json)")
+    _add_runstore(p_diag)
     p_diag.set_defaults(func=cmd_diagnose)
 
     p_trace = sub.add_parser(
@@ -605,6 +719,8 @@ def build_parser():
     p_t3 = sub.add_parser("table3", help="regenerate Table 3 for a corner")
     _add_common(p_t3)
     p_t3.set_defaults(func=cmd_table3)
+
+    register_runs_cli(sub)
 
     return parser
 

@@ -16,6 +16,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 
 from repro.apps.iscsi import IscsiTargetWorkload
 from repro.apps.ttcp import TtcpWorkload
@@ -567,11 +568,17 @@ class ResultCache:
     never observe a torn entry, and an unreadable or corrupt entry is
     treated as a miss (the bad file is discarded and the experiment
     re-runs) rather than an error.
+
+    The cache is an accelerator, never a correctness dependency: if
+    the disk fills up or the directory is read-only, ``put`` warns
+    once and degrades to memory-only instead of killing a sweep that
+    may be hours into its grid.
     """
 
     def __init__(self, directory=None):
         self._directory = directory
         self._memory = {}
+        self._warned_disk = False
 
     @property
     def directory(self):
@@ -612,23 +619,45 @@ class ResultCache:
     def put(self, config, result):
         self._memory[config.key()] = result
         directory = self.directory
-        os.makedirs(directory, exist_ok=True)
         # Write to a sibling tempfile and rename into place: os.replace
         # is atomic on POSIX, so a concurrent reader (or a reader after
         # an interrupt) sees either the old entry or the new one whole.
-        fd, tmp = tempfile.mkstemp(
-            prefix=".put-", suffix=".part", dir=directory
-        )
+        # Any OSError (ENOSPC, EROFS, EACCES...) degrades to memory-only
+        # caching: warn once, keep the sweep running.  Non-I/O errors
+        # (e.g. an unserializable result) still propagate -- those are
+        # bugs, not environment.
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=".put-", suffix=".part", dir=directory
+            )
+        except OSError as exc:
+            self._warn_disk(exc)
+            return
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(result.to_dict(), fh)
             os.replace(tmp, self._path(config))
-        except BaseException:
+        except BaseException as exc:
             try:
                 os.remove(tmp)
             except OSError:
                 pass
+            if isinstance(exc, OSError):
+                self._warn_disk(exc)
+                return
             raise
+
+    def _warn_disk(self, exc):
+        if self._warned_disk:
+            return
+        self._warned_disk = True
+        warnings.warn(
+            "result cache write to %s failed (%s); continuing with "
+            "in-memory caching only" % (self.directory, exc),
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def clear(self):
         self._memory.clear()

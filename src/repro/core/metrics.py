@@ -43,6 +43,29 @@ def dedupe_cells(cells):
     return unique
 
 
+def _serial_flat(configs, cache=None, progress=None, journal=None):
+    """Serial (no-executor) cell loop shared by the sweep drivers.
+
+    Mirrors :class:`~repro.core.parallel.SweepRunner`'s lookup order
+    for the ``journal`` hook (a :class:`repro.runstore.RunStore`):
+    journaled cells from an interrupted session replay without
+    re-executing; fresh results are journaled before returning.
+    """
+    flat = []
+    for config in configs:
+        hit = journal.lookup_cell(config) if journal is not None else None
+        if hit is not None:
+            if progress:
+                progress("replayed %s (journal)" % config.label())
+            flat.append(hit)
+            continue
+        result = run_experiment(config, cache=cache, progress=progress)
+        if journal is not None:
+            journal.record_cell(config, result)
+        flat.append(result)
+    return flat
+
+
 def run_size_sweep(
     direction,
     sizes=PAPER_SIZES,
@@ -52,6 +75,7 @@ def run_size_sweep(
     jobs=None,
     faults=None,
     runner=None,
+    journal=None,
     **config_kwargs
 ):
     """Run the full (size x mode) grid for one direction.
@@ -87,13 +111,12 @@ def run_size_sweep(
     elif jobs is not None and jobs != 1:
         from repro.core.parallel import SweepRunner
 
-        runner = SweepRunner(jobs=jobs, cache=cache, progress=progress)
+        runner = SweepRunner(jobs=jobs, cache=cache, progress=progress,
+                             journal=journal)
         flat = runner.run(configs)
     else:
-        flat = [
-            run_experiment(config, cache=cache, progress=progress)
-            for config in configs
-        ]
+        flat = _serial_flat(configs, cache=cache, progress=progress,
+                            journal=journal)
     return dict(zip(cells, flat))
 
 

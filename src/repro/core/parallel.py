@@ -27,7 +27,16 @@ parallel, and a parallel run must produce *byte-identical*
   later ``run()`` calls skip it, and the per-run
   :class:`FailureReport` (``runner.report``) names it.  Hung worker
   processes are abandoned via a parent-side backstop deadline so the
-  sweep itself always terminates.
+  sweep itself always terminates -- and the abandoned workers are
+  then actively SIGTERM'd (SIGKILL'd if that doesn't take) so an
+  interactive session or CI runner never leaks live processes.
+* **Journaling** -- an optional ``journal`` (duck-typed; in practice
+  a :class:`repro.runstore.RunStore`) records every executed cell's
+  result durably and answers lookups for cells executed by an
+  earlier, interrupted session.  A journal hit ("replayed") fills
+  the result slot without re-executing the simulation, which is what
+  makes ``repro-affinity runs resume`` byte-identical to an
+  uninterrupted run.
 
 Workers are forked/spawned fresh per sweep; the result payloads are
 plain JSON-serializable dicts, so nothing simulation-side needs to be
@@ -207,22 +216,34 @@ class SweepRunner:
     retries:
         Re-runs (same seed) granted to a failing cell before it is
         quarantined.
+    journal:
+        Optional run-store hook (``lookup_cell(config)`` /
+        ``record_cell(config, result)``; in practice a
+        :class:`repro.runstore.RunStore`).  Consulted *before* the
+        cache -- a journal hit means an earlier session of the same
+        run already executed the cell, so it is replayed, never
+        re-run.  Every freshly executed result is recorded durably
+        before the cache write.
 
     After each ``run()``, :attr:`report` is the
     :class:`FailureReport`; failed cells occupy their result slots as
     ``None``.  Quarantined keys persist across ``run()`` calls on the
-    same runner.
+    same runner.  :attr:`killed_workers` accumulates the PIDs of
+    worker processes the runner had to SIGTERM/SIGKILL (hung cells,
+    interrupted sweeps) -- none are left running behind the parent.
     """
 
     def __init__(self, jobs=None, cache=None, progress=None,
-                 timeout=None, retries=1):
+                 timeout=None, retries=1, journal=None):
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.cache = cache
         self.progress = progress
         self.timeout = timeout
         self.retries = max(0, int(retries))
+        self.journal = journal
         self.quarantined = {}  # key -> CellFailure
         self.report = FailureReport()
+        self.killed_workers = []  # PIDs actively reaped, all runs
 
     # -- progress formatting (shared by serial and parallel paths) ------
 
@@ -280,9 +301,16 @@ class SweepRunner:
                 self._say_quarantined(config)
                 failures.append(self.quarantined[key])
                 continue
-            hit = self.cache.get(config) if self.cache is not None else None
+            hit = None
+            if self.journal is not None:
+                hit = self.journal.lookup_cell(config)
+                if hit is not None:
+                    self._say("replayed %s (journal)" % config.label())
+            if hit is None and self.cache is not None:
+                hit = self.cache.get(config)
+                if hit is not None:
+                    self._say_cached(config)
             if hit is not None:
-                self._say_cached(config)
                 for i in slots[key]:
                     results[i] = hit
             else:
@@ -297,6 +325,11 @@ class SweepRunner:
         return results
 
     def _store(self, key, config, result, slots, results):
+        # Journal first: the durable run record must never trail the
+        # (best-effort) cache, or a crash between the two writes would
+        # lose the cell from the resume path.
+        if self.journal is not None:
+            self.journal.record_cell(config, result)
         if self.cache is not None:
             self.cache.put(config, result)
         for i in slots[key]:
@@ -432,10 +465,56 @@ class SweepRunner:
                     done_count += 1
                     self._say_done(done_count, total, config)
         except BaseException:
-            # SIGINT or an unexpected runner bug: drop queued cells and
-            # let the atomic cache writes guarantee no torn files.
-            executor.shutdown(wait=False, cancel_futures=True)
+            # SIGINT/SIGTERM or an unexpected runner bug: drop queued
+            # cells, reap the worker processes (a graceful-shutdown
+            # checkpoint must not leave orphans running the old grid),
+            # and let the atomic cache writes guarantee no torn files.
+            self.killed_workers.extend(_terminate_workers(executor))
             raise
-        # Abandoned (hung) workers would make a plain shutdown block
-        # forever; leave them to die with the process group.
-        executor.shutdown(wait=not hung_workers, cancel_futures=True)
+        if hung_workers:
+            # A plain shutdown would block forever joining wedged
+            # workers; SIGTERM them (SIGKILL stragglers) instead of
+            # leaking live processes past the sweep.
+            self.killed_workers.extend(_terminate_workers(executor))
+        else:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+
+def _terminate_workers(executor, grace=2.0):
+    """Shut the executor down without waiting and actively reap its
+    worker processes.
+
+    Snapshots the worker list *before* calling ``shutdown()`` --
+    CPython drops ``_processes`` during shutdown even with
+    ``wait=False`` -- then SIGTERMs every live worker, gives the
+    batch ``grace`` seconds to exit, SIGKILLs any survivor, and
+    joins so nothing is left as a zombie.  Returns the PIDs that
+    needed reaping.  Reaches into
+    ``ProcessPoolExecutor._processes`` (private but stable across
+    CPython 3.8+); degrades to a plain no-wait shutdown if the
+    attribute moves.
+    """
+    procs = getattr(executor, "_processes", None)
+    procs = list(procs.values()) if isinstance(procs, dict) else []
+    executor.shutdown(wait=False, cancel_futures=True)
+    reaped = []
+    for proc in procs:
+        if proc.is_alive():
+            reaped.append(proc.pid)
+            try:
+                proc.terminate()
+            except OSError:
+                pass
+    deadline = time.monotonic() + grace
+    for proc in procs:
+        if proc.is_alive():
+            proc.join(max(0.0, deadline - time.monotonic()))
+    for proc in procs:
+        if proc.is_alive():
+            try:
+                proc.kill()
+            except OSError:
+                pass
+    for proc in procs:
+        proc.join(1.0)
+    return reaped

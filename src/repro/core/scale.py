@@ -14,8 +14,8 @@ share queues for consumer migrations (and hence filter retargets) to
 happen at all, which is also the regime real servers run in.
 """
 
-from repro.core.experiment import ExperimentConfig, run_experiment
-from repro.core.metrics import dedupe_cells
+from repro.core.experiment import ExperimentConfig
+from repro.core.metrics import _serial_flat, dedupe_cells
 
 #: Machine sizes the study sweeps (the tentpole's n_cpus axis).
 SCALE_CPUS = (2, 4, 8, 16)
@@ -38,6 +38,7 @@ def run_scale_sweep(
     progress=None,
     jobs=None,
     runner=None,
+    journal=None,
     **config_kwargs
 ):
     """Run the (n_cpus x size x mode) multi-queue grid.
@@ -71,13 +72,12 @@ def run_scale_sweep(
     elif jobs is not None and jobs != 1:
         from repro.core.parallel import SweepRunner
 
-        runner = SweepRunner(jobs=jobs, cache=cache, progress=progress)
+        runner = SweepRunner(jobs=jobs, cache=cache, progress=progress,
+                             journal=journal)
         flat = runner.run(configs)
     else:
-        flat = [
-            run_experiment(config, cache=cache, progress=progress)
-            for config in configs
-        ]
+        flat = _serial_flat(configs, cache=cache, progress=progress,
+                            journal=journal)
     return dict(zip(cells, flat))
 
 

@@ -70,6 +70,7 @@ def run_diagnosis(
     cache=None,
     runner=None,
     progress=None,
+    runstore=None,
     **config_kwargs
 ):
     """Run the full diagnosis grid; returns the plain-data report.
@@ -83,6 +84,15 @@ def run_diagnosis(
     degrade to ``None`` fields instead of aborting: a knob whose
     perturbed run died is reported unranked, and a (direction, mode)
     whose ceiling probe died carries a failed baseline.
+
+    With a ``runstore`` (:class:`repro.runstore.RunStore`), every
+    executed cell is journaled durably and each search's
+    :meth:`~repro.diagnose.saturation.SaturationSearch.state_dict` is
+    checkpointed after every lockstep wave.  An interrupted diagnosis
+    resumed against the same journal replays the already-executed
+    cells (never re-running them); since the probe schedule is a pure
+    function of cell results, the resumed run re-derives the same
+    waves and the final report is byte-identical.
     """
     specs = resolve_knobs(knobs)
     keys = [(d, m) for d in directions for m in modes]
@@ -106,6 +116,7 @@ def run_diagnosis(
 
     # Phase 1: lockstep bisection waves across all (direction, mode)
     # searches -- one sharded batch per wave.
+    journal = runstore  # duck-typed lookup_cell/record_cell provider
     wave = 0
     while True:
         live = [(key, s) for key, s in searches.items() if not s.done]
@@ -118,9 +129,15 @@ def run_diagnosis(
             )
         batch = [s.next_config() for _, s in live]
         results = run_cells(batch, cache=cache, runner=runner,
-                            progress=progress)
+                            progress=progress, journal=journal)
         for (_, s), result in zip(live, results):
             s.observe(result)
+        if runstore is not None:
+            runstore.record_wave(
+                wave,
+                {"%s/%s" % key: s.state_dict() for key, s in live},
+            )
+            runstore.checkpoint()
 
     # Phase 2: the (knob x direction x mode) perturbation grid, one
     # batch.  Each cell re-runs the closed-loop (saturated) config with
@@ -146,7 +163,7 @@ def run_diagnosis(
         progress("perturbation grid: %d cell(s)" % len(grid))
     configs = [c for _, _, c, _, _ in grid if c is not None]
     flat = iter(run_cells(configs, cache=cache, runner=runner,
-                          progress=progress))
+                          progress=progress, journal=journal))
     results = [
         None if c is None else next(flat) for _, _, c, _, _ in grid
     ]

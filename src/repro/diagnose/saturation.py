@@ -20,7 +20,11 @@ many of them in lockstep waves so independent (direction, mode)
 searches bisect in parallel.
 """
 
-from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
 
 #: Bisection steps after the ceiling probe: each halves the bracket,
 #: so 6 steps place saturation within ~2% of the capacity ceiling.
@@ -121,6 +125,46 @@ class SaturationSearch:
         if self._steps_done >= self.steps:
             self.phase = "done"
 
+    # -- checkpointing --------------------------------------------------
+
+    def state_dict(self):
+        """JSON-serializable snapshot of the search's mutable state.
+
+        Checkpointed to the run journal between lockstep waves so an
+        interrupted diagnosis can verify a resumed search re-derives
+        the same trajectory (the probe schedule is a pure function of
+        the replayed cell results)."""
+        return {
+            "phase": self.phase,
+            "failed": self.failed,
+            "closed_loop": (
+                None if self.closed_loop is None
+                else self.closed_loop.to_dict()
+            ),
+            "probes": list(self.probes),
+            "lo": self._lo,
+            "hi": self._hi,
+            "rate": self._rate,
+            "steps_done": self._steps_done,
+            "best": None if self._best is None else list(self._best),
+        }
+
+    def load_state(self, state):
+        """Restore a :meth:`state_dict` snapshot onto this search."""
+        self.phase = state["phase"]
+        self.failed = state["failed"]
+        self.closed_loop = (
+            None if state["closed_loop"] is None
+            else ExperimentResult.from_dict(state["closed_loop"])
+        )
+        self.probes = list(state["probes"])
+        self._lo = state["lo"]
+        self._hi = state["hi"]
+        self._rate = state["rate"]
+        self._steps_done = state["steps_done"]
+        best = state["best"]
+        self._best = None if best is None else tuple(best)
+
     # -- results --------------------------------------------------------
 
     @property
@@ -160,31 +204,47 @@ class SaturationSearch:
         }
 
 
-def run_cells(configs, cache=None, runner=None, progress=None):
+def run_cells(configs, cache=None, runner=None, progress=None,
+              journal=None):
     """Run a batch of cells, returning results with ``None`` holes.
 
     With a :class:`~repro.core.parallel.SweepRunner` this is one
-    sharded, fault-tolerant wave; serially, a failing cell is caught
-    and mapped to ``None`` to mirror the runner's quarantine contract.
+    sharded, fault-tolerant wave (the runner carries its own journal);
+    serially, a failing cell is caught and mapped to ``None`` to
+    mirror the runner's quarantine contract, and ``journal`` (a
+    :class:`repro.runstore.RunStore`) replays cells an interrupted
+    session already executed and records fresh ones durably.
     """
     if runner is not None:
         return runner.run(configs)
     out = []
     for config in configs:
+        if journal is not None:
+            hit = journal.lookup_cell(config)
+            if hit is not None:
+                if progress:
+                    progress("replayed %s (journal)" % config.label())
+                out.append(hit)
+                continue
         try:
-            out.append(run_experiment(config, cache=cache,
-                                      progress=progress))
+            result = run_experiment(config, cache=cache,
+                                    progress=progress)
         except Exception as exc:  # mirror SweepRunner: hole, not abort
             if progress:
                 progress("cell %s failed: %s" % (config.label(), exc))
             out.append(None)
+            continue
+        if journal is not None:
+            journal.record_cell(config, result)
+        out.append(result)
     return out
 
 
 def find_saturation(config, steps=DEFAULT_STEPS,
                     sustain_frac=DEFAULT_SUSTAIN_FRAC,
                     hi_margin=DEFAULT_HI_MARGIN,
-                    cache=None, runner=None, progress=None):
+                    cache=None, runner=None, progress=None,
+                    journal=None):
     """Find the saturation point of one closed-loop ``config``.
 
     Returns the :meth:`SaturationSearch.summary` dict.  Deterministic:
@@ -199,7 +259,7 @@ def find_saturation(config, steps=DEFAULT_STEPS,
     while not search.done:
         result = run_cells(
             [search.next_config()], cache=cache, runner=runner,
-            progress=progress,
+            progress=progress, journal=journal,
         )[0]
         search.observe(result)
     return search.summary()

@@ -1,0 +1,90 @@
+"""Durable filesystem primitives for the run store.
+
+Everything the run store persists goes through the two writers here:
+
+* :func:`atomic_write_text` / :func:`atomic_write_json` -- the PR 1
+  cache discipline (sibling tempfile + ``os.replace``) extended with
+  an fsync of the file *and* its directory, so a record survives not
+  just a concurrent reader but a power cut between the rename and the
+  next metadata flush.
+* :func:`fsync_dir` -- best-effort directory durability; some
+  filesystems (and some CI sandboxes) refuse ``O_DIRECTORY`` opens,
+  which must degrade silently rather than fail the write.
+
+Writers never leave partial files behind: on any failure the tempfile
+is removed and the original (if any) is untouched.
+"""
+
+import json
+import os
+import tempfile
+
+
+def fsync_dir(path):
+    """Flush directory metadata so a rename survives a crash.
+
+    Best-effort: directories cannot be fsync'd on every platform or
+    filesystem, and a failure here only narrows the crash window, so
+    it is never allowed to fail the write that preceded it.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path, text, durable=True):
+    """Atomically replace ``path`` with ``text``.
+
+    A reader (or a post-crash resume) sees either the old content or
+    the new content, never a torn file.  ``durable`` additionally
+    fsyncs the file before the rename and the directory after it.
+    Raises ``OSError`` (e.g. ``ENOSPC``) -- callers that must degrade
+    rather than die catch it (see ``RunStore._warn_disk``).
+    """
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(prefix=".store-", suffix=".part",
+                               dir=directory)
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            if durable:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_dir(directory)
+
+
+def atomic_write_json(path, obj, durable=True, indent=1):
+    """Atomically write ``obj`` as sorted, newline-terminated JSON."""
+    atomic_write_text(
+        path,
+        json.dumps(obj, indent=indent, sort_keys=True) + "\n",
+        durable=durable,
+    )
+
+
+def read_json(path):
+    """Load a JSON file, returning ``None`` if missing or corrupt.
+
+    The run store treats an unreadable manifest like the cache treats
+    a torn entry: evidence of a crash, not an error to propagate.
+    """
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None

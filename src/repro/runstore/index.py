@@ -1,0 +1,247 @@
+"""SQLite cross-run index over the run store.
+
+``results/runs/index.sqlite`` makes questions like "rss@16cpu
+throughput across the last 30 nightlies" one query instead of thirty
+journal replays.  The index is strictly *derived* state: it is
+updated opportunistically when a run finalizes and can always be
+rebuilt offline from the run directories (:func:`rebuild_index`
+writes a fresh database beside the old one and ``os.replace``s it, so
+even the index obeys the atomic-write discipline).
+
+Schema::
+
+    runs(run_id PK, command, status, created, created_iso, git_sha,
+         n_cells, path)
+    cells(run_id, key, label, direction, size, mode, cpus, queues,
+          seed, throughput_gbps, cost_ghz_per_gbps, utilization,
+          PRIMARY KEY (run_id, key))
+
+Cell rows are flattened from the journal's cell records -- the full
+payloads stay in the journal; the index holds only the queryable
+shape + headline metrics.
+"""
+
+import os
+import sqlite3
+
+from repro.runstore.journal import RunJournal
+from repro.runstore.store import (
+    JOURNAL_NAME,
+    MANIFEST_NAME,
+    effective_status,
+    read_json,
+    runs_root,
+)
+
+INDEX_NAME = "index.sqlite"
+
+SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id   TEXT PRIMARY KEY,
+    command  TEXT,
+    status   TEXT,
+    created  REAL,
+    created_iso TEXT,
+    git_sha  TEXT,
+    n_cells  INTEGER,
+    path     TEXT
+);
+CREATE TABLE IF NOT EXISTS cells (
+    run_id TEXT,
+    key    TEXT,
+    label  TEXT,
+    direction TEXT,
+    size   INTEGER,
+    mode   TEXT,
+    cpus   INTEGER,
+    queues INTEGER,
+    seed   INTEGER,
+    throughput_gbps   REAL,
+    cost_ghz_per_gbps REAL,
+    utilization       REAL,
+    PRIMARY KEY (run_id, key)
+);
+CREATE INDEX IF NOT EXISTS cells_by_shape
+    ON cells (mode, cpus, size, direction);
+"""
+
+
+def index_path(root=None):
+    return os.path.join(runs_root(root), INDEX_NAME)
+
+
+def connect(path):
+    conn = sqlite3.connect(path)
+    conn.executescript(SCHEMA)
+    return conn
+
+
+def _cell_row(run_id, record):
+    payload = record.get("payload") or {}
+    config = payload.get("config") or {}
+    utils = payload.get("per_cpu_utilization") or []
+    cost = payload.get("cost_ghz_per_gbps")
+    if cost is not None and cost == float("inf"):
+        cost = None
+    return (
+        run_id,
+        record.get("key"),
+        record.get("label"),
+        config.get("direction"),
+        config.get("message_size"),
+        config.get("affinity"),
+        config.get("n_cpus"),
+        config.get("n_queues", 1),
+        config.get("seed"),
+        payload.get("throughput_gbps"),
+        cost,
+        (sum(utils) / len(utils)) if utils else None,
+    )
+
+
+def upsert_run(conn, run_id, directory, manifest, journal):
+    """Replace one run's rows (runs + cells) in an open index."""
+    status = effective_status(directory, manifest)
+    conn.execute("DELETE FROM cells WHERE run_id = ?", (run_id,))
+    conn.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
+    conn.execute(
+        "INSERT INTO runs VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+        (
+            run_id,
+            manifest.get("command"),
+            status,
+            manifest.get("created"),
+            manifest.get("created_iso"),
+            manifest.get("git_sha"),
+            len(journal.cells),
+            os.path.abspath(directory),
+        ),
+    )
+    conn.executemany(
+        "INSERT INTO cells VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        [
+            _cell_row(run_id, record)
+            for record in journal.cells.values()
+        ],
+    )
+
+
+def update_index(store):
+    """Opportunistic single-run upsert at finalize time.
+
+    Concurrent finalizers serialize on SQLite's own locking; a
+    locked/corrupt database is not fatal here because
+    :func:`rebuild_index` can always regenerate it."""
+    conn = connect(index_path(os.path.dirname(store.directory) or None))
+    try:
+        with conn:
+            upsert_run(
+                conn,
+                store.run_id,
+                store.directory,
+                store.manifest,
+                store.journal,
+            )
+    finally:
+        conn.close()
+
+
+def rebuild_index(root=None):
+    """Offline full rebuild from the run directories.
+
+    Writes a fresh database and atomically replaces the old one, so a
+    reader never sees a half-built index.  Returns
+    ``(n_runs, n_cells)``."""
+    root = runs_root(root)
+    os.makedirs(root, exist_ok=True)
+    final = index_path(root)
+    tmp = final + ".rebuild"
+    try:
+        os.remove(tmp)
+    except OSError:
+        pass
+    conn = connect(tmp)
+    n_runs = n_cells = 0
+    try:
+        with conn:
+            for name in sorted(os.listdir(root)):
+                directory = os.path.join(root, name)
+                manifest = read_json(
+                    os.path.join(directory, MANIFEST_NAME)
+                )
+                if manifest is None:
+                    continue
+                journal = RunJournal.load(
+                    os.path.join(directory, JOURNAL_NAME)
+                )
+                upsert_run(conn, name, directory, manifest, journal)
+                n_runs += 1
+                n_cells += len(journal.cells)
+    finally:
+        conn.close()
+    os.replace(tmp, final)
+    return n_runs, n_cells
+
+
+def query_cells(root=None, command=None, status=None, direction=None,
+                mode=None, size=None, cpus=None, limit=30):
+    """Filtered cross-run cell query, newest runs first.
+
+    Returns ``[dict]`` rows joining run metadata with cell metrics --
+    the "throughput of rss@16cpu across the last 30 nightlies" shape.
+    """
+    path = index_path(root)
+    if not os.path.exists(path):
+        rebuild_index(root)
+        path = index_path(root)
+    conn = connect(path)
+    conn.row_factory = sqlite3.Row
+    clauses, params = [], []
+    for column, value in (
+        ("runs.command", command),
+        ("runs.status", status),
+        ("cells.direction", direction),
+        ("cells.mode", mode),
+        ("cells.size", size),
+        ("cells.cpus", cpus),
+    ):
+        if value is not None:
+            clauses.append("%s = ?" % column)
+            params.append(value)
+    sql = (
+        "SELECT runs.run_id, runs.created_iso, runs.status, "
+        "runs.git_sha, cells.label, cells.direction, cells.size, "
+        "cells.mode, cells.cpus, cells.queues, "
+        "cells.throughput_gbps, cells.cost_ghz_per_gbps, "
+        "cells.utilization "
+        "FROM cells JOIN runs USING (run_id)"
+    )
+    if clauses:
+        sql += " WHERE " + " AND ".join(clauses)
+    sql += " ORDER BY runs.created DESC, cells.label"
+    if limit:
+        sql += " LIMIT ?"
+        params.append(int(limit))
+    try:
+        rows = [dict(r) for r in conn.execute(sql, params)]
+    finally:
+        conn.close()
+    return rows
+
+
+def query_sql(sql, root=None):
+    """Raw read-only SELECT against the index (power users)."""
+    if not sql.lstrip().lower().startswith("select"):
+        raise ValueError("only SELECT statements are allowed")
+    path = index_path(root)
+    if not os.path.exists(path):
+        rebuild_index(root)
+    conn = sqlite3.connect(
+        "file:%s?mode=ro" % path, uri=True
+    )
+    conn.row_factory = sqlite3.Row
+    try:
+        rows = [dict(r) for r in conn.execute(sql)]
+    finally:
+        conn.close()
+    return rows

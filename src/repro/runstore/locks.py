@@ -1,0 +1,125 @@
+"""Pidfile locking for run directories.
+
+Two processes sharing one run directory would interleave journal
+appends and race manifest rewrites, so every live run holds
+``lock.pid`` -- created with ``O_CREAT | O_EXCL`` (atomic on POSIX
+and NFSv3+), containing ``<pid> <hostname>``.
+
+Stale-lock reclamation: a SIGKILL'd or OOM'd run leaves its pidfile
+behind.  On acquire, an existing lock whose pid is dead (same host)
+is reclaimed with a warning; a live pid raises :class:`LockHeldError`.
+Locks from a *different* host cannot be liveness-checked and are
+never reclaimed automatically -- delete the run directory or the
+pidfile by hand if the other host is known dead.
+
+The unlink-then-retry reclamation has the classic pidfile race (two
+reclaimers can both see the stale lock); ``O_EXCL`` serializes the
+re-create so exactly one wins and the loser re-reads a live pid.
+"""
+
+import os
+import socket
+import warnings
+
+LOCK_NAME = "lock.pid"
+
+
+class LockHeldError(RuntimeError):
+    """The run directory is locked by a live process."""
+
+
+def pid_alive(pid):
+    """Best-effort same-host liveness probe."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+class PidfileLock:
+    """``with PidfileLock(path).acquire(): ...`` or explicit
+    acquire/release (the run store releases at finalize)."""
+
+    def __init__(self, path):
+        self.path = path
+        self.owned = False
+
+    def _read(self):
+        """Returns ``(pid, host)`` or ``(None, None)`` if unreadable."""
+        try:
+            with open(self.path) as fh:
+                fields = fh.read().split()
+            return int(fields[0]), fields[1] if len(fields) > 1 else ""
+        except (OSError, ValueError, IndexError):
+            return None, None
+
+    def acquire(self):
+        me = "%d %s\n" % (os.getpid(), socket.gethostname())
+        for _ in range(8):
+            try:
+                fd = os.open(self.path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                             0o644)
+            except FileExistsError:
+                pid, host = self._read()
+                if pid == os.getpid():
+                    self.owned = True  # re-entrant within one process
+                    return self
+                if pid is not None and host not in (
+                    "", socket.gethostname()
+                ):
+                    raise LockHeldError(
+                        "run locked by pid %d on host %s (cross-host "
+                        "liveness unknown; remove %s manually if that "
+                        "host is dead)" % (pid, host, self.path)
+                    )
+                if pid is not None and pid_alive(pid):
+                    raise LockHeldError(
+                        "run locked by live pid %d (%s)"
+                        % (pid, self.path)
+                    )
+                # Stale (dead pid) or torn (unreadable) lock: reclaim.
+                warnings.warn(
+                    "reclaiming stale run lock %s (pid %s is dead)"
+                    % (self.path, pid),
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                try:
+                    os.remove(self.path)
+                except FileNotFoundError:
+                    pass
+                continue
+            with os.fdopen(fd, "w") as fh:
+                fh.write(me)
+                fh.flush()
+                os.fsync(fh.fileno())
+            self.owned = True
+            return self
+        raise LockHeldError(
+            "could not acquire %s (reclamation raced repeatedly)"
+            % self.path
+        )
+
+    def release(self):
+        if not self.owned:
+            return
+        self.owned = False
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.release()
+        return False

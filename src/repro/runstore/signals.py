@@ -1,0 +1,73 @@
+"""Graceful shutdown for journaled studies.
+
+``repro-affinity sweep/scale/diagnose`` runs for hours; a SIGINT
+(ctrl-C) or SIGTERM (CI timeout, ``kill``) must checkpoint instead of
+vaporizing the orchestration state.  :class:`GracefulShutdown`
+installs handlers that raise :class:`ShutdownRequested` in the main
+thread; the CLI catches it, marks the run ``interrupted`` in the
+manifest, and exits ``128 + signum`` -- the journal is already
+durable per record, so "checkpoint" costs nothing extra.
+
+``ShutdownRequested`` subclasses ``BaseException`` deliberately: the
+sweep machinery's per-cell ``except Exception`` fault tolerance must
+not swallow a shutdown and keep running the grid.
+
+If the handler fires mid-append the exception can tear the journal's
+last line; the checksummed tail recovery in
+:mod:`repro.runstore.journal` makes that indistinguishable from a
+SIGKILL, i.e. already handled.
+"""
+
+import signal
+import threading
+
+
+class ShutdownRequested(BaseException):
+    """Raised in the main thread when SIGINT/SIGTERM arrives."""
+
+    def __init__(self, signum):
+        self.signum = signum
+        try:
+            self.name = signal.Signals(signum).name
+        except ValueError:
+            self.name = "signal %d" % signum
+        super().__init__(self.name)
+
+
+class GracefulShutdown:
+    """Context manager converting SIGINT/SIGTERM into
+    :class:`ShutdownRequested`.
+
+    A second signal while the first is unwinding falls through to the
+    previous (usually default) handler, so a stuck teardown can still
+    be killed with another ctrl-C.  No-op outside the main thread
+    (signal handlers cannot be installed there).
+    """
+
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self):
+        self._previous = {}
+        self._fired = False
+
+    def _handler(self, signum, frame):
+        if self._fired:
+            previous = self._previous.get(signum)
+            if callable(previous):
+                previous(signum, frame)
+            return
+        self._fired = True
+        raise ShutdownRequested(signum)
+
+    def __enter__(self):
+        if threading.current_thread() is not threading.main_thread():
+            return self
+        for signum in self.SIGNALS:
+            self._previous[signum] = signal.signal(signum, self._handler)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+        self._previous = {}
+        return False

@@ -1,6 +1,17 @@
 """Shared fixtures: a minimal simulated machine for unit tests."""
 
+import os
+import tempfile
+
 import pytest
+
+# Studies journal into the run store by default; point it at a
+# throwaway directory so CLI tests never litter results/runs/ in the
+# working tree.  setdefault keeps an explicit REPRO_RUNS_DIR (e.g. a
+# subprocess crash/resume test's) authoritative.
+os.environ.setdefault(
+    "REPRO_RUNS_DIR", tempfile.mkdtemp(prefix="repro-runs-")
+)
 
 from repro.cpu.core import Cpu
 from repro.cpu.function import FunctionTable

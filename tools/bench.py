@@ -265,16 +265,41 @@ def main(argv=None):
     parser.add_argument("--out", default=None,
                         help="output JSON path (default "
                              "benchmarks/perf/BENCH_<date>T<time>.json)")
+    parser.add_argument("--runstore", action="store_true",
+                        help="also record this bench as a run under "
+                             "results/runs/ ($REPRO_RUNS_DIR) so "
+                             "nightlies land in the cross-run index")
     args = parser.parse_args(argv)
+
+    store = None
+    if args.runstore:
+        from repro.runstore import RunStore
+
+        store = RunStore.create(
+            "bench",
+            args={k: v for k, v in vars(args).items() if k != "func"},
+        )
+        print("run %s -> %s" % (store.run_id, store.directory),
+              file=sys.stderr)
 
     report = run_matrix(args)
 
-    os.makedirs(PERF_DIR, exist_ok=True)
     out = args.out or default_out_path(report["timestamp"])
-    with open(out, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print("wrote %s" % out, file=sys.stderr)
+    try:
+        os.makedirs(PERF_DIR, exist_ok=True)
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote %s" % out, file=sys.stderr)
+    except OSError as exc:
+        # A full or read-only disk loses the report file, not the
+        # bench: scores were already printed and --check still runs.
+        print("could not write %s (%s); continuing" % (out, exc),
+              file=sys.stderr)
+
+    if store is not None:
+        store.write_artifact("report.json", report)
+        store.finalize("completed")
 
     if args.update_baseline:
         with open(BASELINE, "w") as fh:
