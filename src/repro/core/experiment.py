@@ -549,6 +549,10 @@ def run_experiment(config, cache=None, progress=None):
     # the benchmark harness's events/sec metric.  Deliberately outside
     # ``_data`` so serialized results and their hashes are unchanged.
     result.events_fired = machine.engine.events_fired
+    # Likewise live-run-only: which charging engine actually ran (pure
+    # or compiled) -- both are bit-identical, so it must not enter the
+    # payload or the cache key.
+    result.charge_engine = machine.charge_engine
     if tracer is not None:
         result._data["trace"] = summarize(tracer, machine.n_cpus)
         result.tracer = tracer

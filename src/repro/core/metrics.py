@@ -16,7 +16,7 @@ from repro.core.experiment import (
 from repro.core.modes import AFFINITY_MODES
 
 
-def dedupe_cells(cells):
+def dedupe_cells(cells, axes="sizes/cpus/modes"):
     """Drop repeated grid cells, preserving first-seen order.
 
     A repeated axis value (``--sizes 4096 4096``) used to pay for the
@@ -24,6 +24,8 @@ def dedupe_cells(cells):
     in ``dict(zip(cells, flat))`` -- the dict keeps only the last.
     Collapsing up front keeps the result dict complete *and* skips the
     redundant runs; the warning tells the caller their grid was odd.
+    ``axes`` names the grid axes in the warning text (the replication
+    helpers pass ``"seeds/modes"``).
     """
     cells = list(cells)
     seen = set()
@@ -35,8 +37,8 @@ def dedupe_cells(cells):
     if len(unique) != len(cells):
         warnings.warn(
             "duplicate sweep cells collapsed (%d -> %d); check the "
-            "sizes/cpus/modes axes for repeated values"
-            % (len(cells), len(unique)),
+            "%s axes for repeated values"
+            % (len(cells), len(unique), axes),
             RuntimeWarning,
             stacklevel=3,
         )

@@ -11,6 +11,7 @@ comparison.
 import math
 
 from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.metrics import dedupe_cells
 
 
 class Summary:
@@ -61,8 +62,11 @@ def replicate(config, seeds=(3, 5, 7, 11), metric="throughput_gbps",
     """Run ``config`` under each seed; returns a :class:`Summary`.
 
     ``metric`` is an :class:`ExperimentResult` attribute name; ``jobs``
-    > 1 fans the per-seed runs out across worker processes.
+    > 1 fans the per-seed runs out across worker processes.  Repeated
+    seeds are collapsed (with a ``RuntimeWarning``) rather than counted
+    twice in the summary.
     """
+    seeds = dedupe_cells(seeds, axes="seeds")
     base = config.to_dict()
     configs = []
     for seed in seeds:
@@ -80,11 +84,16 @@ def gain_statistics(direction, message_size, mode, baseline="none",
     Returns a :class:`Summary` of the fractional gains, so callers can
     assert e.g. that the affinity benefit is positive for *every* seed
     rather than on average.  ``jobs`` > 1 runs the (seed x mode) grid
-    in parallel.
+    in parallel.  Duplicate ``(seed, affinity)`` cells -- repeated
+    seeds, or ``mode == baseline`` -- are collapsed with a
+    ``RuntimeWarning`` instead of double-counting seeds in the summary
+    (``dict(zip(pairs, results))`` kept only the last duplicate).
     """
-    pairs = [
-        (seed, affinity) for seed in seeds for affinity in (baseline, mode)
-    ]
+    seeds = dedupe_cells(seeds, axes="seeds")
+    pairs = dedupe_cells(
+        [(seed, affinity) for seed in seeds for affinity in (baseline, mode)],
+        axes="seeds/modes",
+    )
     configs = [
         ExperimentConfig(
             direction=direction,

@@ -129,6 +129,11 @@ class SetAssocCache:
         the per-line loop.  This is the common case for a warm trace
         cache fetching the same handful of kernel functions.
         """
+        if not hasattr(lines, "__len__"):
+            # One-shot iterables (generators) would be consumed by the
+            # issuperset probe, leaving len()/the fallback loop an empty
+            # sequence; materialize so every path sees all lines.
+            lines = list(lines)
         mru = self._mru
         if mru.issuperset(lines):
             n = len(lines)

@@ -18,7 +18,9 @@ flow through here:
   wait charged to lock-bin code at Table 2's branch arithmetic.
 """
 
+from repro.cpu.compiled import CompiledCpu
 from repro.cpu.core import Cpu
+from repro.cpu.engine import resolve_engine
 from repro.cpu.function import FunctionTable
 from repro.cpu.params import CostModel, CpuParams
 from repro.kernel.context import (
@@ -51,9 +53,11 @@ from repro.kernel.task import (
     full_mask,
 )
 from repro.kernel.timers import TICK_HZ, TimerWheel
+from repro.mem.arraysystem import CompiledMemorySystem
 from repro.mem.layout import AddressSpace, KERNEL_TEXT_BASE, PAGE_SIZE
 from repro.mem.system import MemorySystem
 from repro.prof.accounting import ExactAccounting
+from repro.prof.slotaccounting import ArrayAccounting, SlotRegistry
 from repro.prof.procstat import ProcInterrupts
 from repro.sim.events import SimulationEngine
 from repro.sim.rng import RngStreams
@@ -130,11 +134,20 @@ class Machine:
         seed=1,
         hz=CYCLES_PER_SECOND_2GHZ,
         hyperthreading=False,
+        engine=None,
     ):
         """``hyperthreading=True`` doubles the logical CPU count:
         ``n_cpus`` physical cores each expose two logical processors
         sharing the core's caches and execution resources (the P4
-        Xeon's SMT)."""
+        Xeon's SMT).
+
+        ``engine`` selects the charging engine: ``"pure"`` (reference
+        interpreter path), ``"compiled"`` (flat-array state driven by
+        the C extension; warns and falls back if unbuildable) or
+        ``"auto"`` (compiled if available, silently pure otherwise).
+        ``None`` defers to ``$REPRO_ENGINE``, defaulting to pure.  Both
+        engines produce bit-identical results; :attr:`charge_engine`
+        records which one actually runs."""
         self.physical_cpus = n_cpus
         self.hyperthreading = hyperthreading
         if hyperthreading:
@@ -145,22 +158,51 @@ class Machine:
         self.rng = RngStreams(seed)
         self.space = AddressSpace()
         self.functions = FunctionTable(self.space)
-        self.memsys = MemorySystem()
-        self.accounting = ExactAccounting()
+        self.charge_engine, core = resolve_engine(engine)
         self.costs = costs or CostModel()
         cpu_params = cpu_params or CpuParams()
         self.cpus = []
-        for i in range(n_cpus):
-            share_with = None
-            domain = i
-            if hyperthreading:
-                domain = i // 2
-                if i % 2 == 1:
-                    share_with = self.cpus[i - 1]
-            self.cpus.append(
-                Cpu(i, cpu_params, self.costs, self.memsys,
-                    self.accounting, share_with=share_with, domain=domain)
-            )
+        if self.charge_engine == "compiled":
+            self.registry = SlotRegistry()
+            self.memsys = CompiledMemorySystem()
+            self.accounting = ArrayAccounting(n_cpus, self.registry)
+            for i in range(n_cpus):
+                share_with = None
+                domain = i
+                if hyperthreading:
+                    domain = i // 2
+                    if i % 2 == 1:
+                        share_with = self.cpus[i - 1]
+                self.cpus.append(
+                    CompiledCpu(i, cpu_params, self.costs, self.memsys,
+                                self.accounting, self.registry,
+                                share_with=share_with, domain=domain)
+                )
+            state = core.build_state({
+                "registry": self.registry,
+                "accounting": self.accounting,
+                "memsys": self.memsys,
+                "costs": self.costs,
+                "cpus": self.cpus,
+            })
+            for cpu in self.cpus:
+                cpu.bind(core, state)
+            self.memsys.bind_state(core, state)
+        else:
+            self.registry = None
+            self.memsys = MemorySystem()
+            self.accounting = ExactAccounting()
+            for i in range(n_cpus):
+                share_with = None
+                domain = i
+                if hyperthreading:
+                    domain = i // 2
+                    if i % 2 == 1:
+                        share_with = self.cpus[i - 1]
+                self.cpus.append(
+                    Cpu(i, cpu_params, self.costs, self.memsys,
+                        self.accounting, share_with=share_with, domain=domain)
+                )
         self.scheduler = Scheduler(n_cpus, sched_params or SchedulerParams())
         self.ioapic = IoApic(n_cpus)
         self.softirqs = SoftirqTable()

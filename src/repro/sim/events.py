@@ -5,9 +5,20 @@ by simulated time (in CPU cycles).  Components schedule callbacks; the
 engine repeatedly pops the earliest event and runs it.  Ties are broken
 by insertion order, which keeps runs deterministic.
 
-Events may be cancelled; cancellation is lazy (the heap entry stays in
-place and is skipped on pop), the standard technique for binary-heap
-schedulers.
+The queue is a *calendar* structure: a binary heap of the distinct
+timestamps currently scheduled, plus a FIFO bucket of events per
+timestamp.  Network simulations schedule bursts of same-cycle events
+(IRQ fan-out, softirq drains, DMA completions), and with a plain event
+heap every member of such a run pays an O(log n) sift on push and pop.
+Here the heap only sees each *timestamp* once, same-time events append
+and pop in O(1), and the engine drains a whole same-timestamp *epoch*
+as one batch (:meth:`EventQueue.pop_epoch`) without touching the heap
+between events.
+
+Events may be cancelled; cancellation is lazy (the stored entry stays
+in place and is skipped on pop), the standard technique for scheduler
+queues.  Mass cancellation triggers an opportunistic compaction so the
+debris never dominates live entries.
 """
 
 import heapq
@@ -51,26 +62,38 @@ class Event:
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event` objects.
+    """A deterministic calendar queue of :class:`Event` objects.
 
-    Heap entries are ``(time, order, event)`` tuples rather than the
-    events themselves: tuple comparison runs entirely in C, so sift
-    operations never call back into :meth:`Event.__lt__` (which is kept
-    for direct comparisons by callers and tests).  The key fields are
-    immutable copies of the event's own, and ``(time, order)`` is
-    unique, so ordering is identical.
+    State is a heap of distinct timestamps (``_times``) and a dict
+    mapping each timestamp to ``[pop_index, [events...]]`` (``_buckets``).
+    Events within a bucket are stored in schedule order, which *is*
+    ``order`` ascending, so popping bucket-FIFO from the earliest
+    timestamp reproduces exactly the ``(time, order)`` ordering of the
+    old tuple heap.  ``pop_index`` marks how far the bucket has been
+    consumed; consumed prefixes are trimmed opportunistically.
     """
 
-    #: Compact only past this heap size (small heaps aren't worth it).
+    #: Compact only past this stored size (small queues aren't worth it).
     COMPACT_MIN = 64
 
     def __init__(self):
-        self._heap = []
+        self._times = []
+        self._buckets = {}
         self._counter = itertools.count()
         self._live = 0
+        #: Cancelled events still physically stored in some bucket.
+        self._debris = 0
 
     def __len__(self):
         return self._live
+
+    def physical_size(self):
+        """Events physically stored, live plus cancelled debris.
+
+        Exposed for the compaction tests: the invariant is that debris
+        never grows past the live population (beyond ``COMPACT_MIN``).
+        """
+        return self._live + self._debris
 
     def schedule(self, time, callback, label=""):
         """Schedule ``callback`` to run at simulated cycle ``time``."""
@@ -79,37 +102,43 @@ class EventQueue:
         order = next(self._counter)
         event = Event(time, order, callback, label)
         event._queue = self
-        heapq.heappush(self._heap, (time, order, event))
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [0, [event]]
+            heapq.heappush(self._times, time)
+        else:
+            bucket[1].append(event)
         self._live += 1
         return event
 
     def _note_cancelled(self):
-        """A live heap entry was just cancelled (called by Event)."""
+        """A live stored entry was just cancelled (called by Event)."""
         self._live -= 1
-        if (
-            len(self._heap) >= self.COMPACT_MIN
-            and self._live * 2 < len(self._heap)
-        ):
+        self._debris += 1
+        physical = self._live + self._debris
+        if physical >= self.COMPACT_MIN and self._live * 2 < physical:
             self._compact()
 
     def _compact(self):
-        """Drop lazily-cancelled debris and restore the heap invariant.
+        """Drop lazily-cancelled debris and rebuild the time heap.
 
-        Event ordering keys (time, order) are unique, so re-heapifying
-        the surviving events preserves deterministic pop order.
+        Bucket order is schedule order and survives filtering, and the
+        timestamp heap holds unique keys, so re-heapifying preserves
+        deterministic pop order.
         """
-        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
-        heapq.heapify(self._heap)
+        new_buckets = {}
+        for time, (idx, events) in self._buckets.items():
+            keep = [ev for ev in events[idx:] if not ev.cancelled]
+            if keep:
+                new_buckets[time] = [0, keep]
+        self._buckets = new_buckets
+        self._times = list(new_buckets)
+        heapq.heapify(self._times)
+        self._debris = 0
 
     def pop(self):
         """Pop and return the earliest live event, or ``None`` when drained."""
-        while self._heap:
-            event = heapq.heappop(self._heap)[2]
-            if not event.cancelled:
-                event._queue = None
-                self._live -= 1
-                return event
-        return None
+        return self.pop_due(None)
 
     def pop_due(self, until):
         """Pop the earliest live event firing at or before ``until``.
@@ -117,33 +146,128 @@ class EventQueue:
         ``until=None`` means no deadline.  Returns ``None`` when the
         queue is drained *or* the earliest live event is past the
         deadline (it stays queued); disambiguate with
-        :meth:`peek_time`.  This is the engine's run-loop fast path: it
-        skips cancelled debris and pops in a single heap pass instead
-        of the peek-then-pop double walk.
+        :meth:`peek_time`.
         """
-        heap = self._heap
-        pop = heapq.heappop
-        while heap:
-            entry = heap[0]
-            event = entry[2]
-            if event.cancelled:
-                pop(heap)
+        times = self._times
+        buckets = self._buckets
+        while times:
+            t = times[0]
+            bucket = buckets[t]
+            idx, events = bucket
+            n = len(events)
+            while idx < n and events[idx].cancelled:
+                idx += 1
+                self._debris -= 1
+            if idx >= n:
+                heapq.heappop(times)
+                del buckets[t]
                 continue
-            if until is not None and entry[0] > until:
+            if until is not None and t > until:
+                bucket[0] = idx
                 return None
-            pop(heap)
+            event = events[idx]
+            idx += 1
+            if idx >= n:
+                heapq.heappop(times)
+                del buckets[t]
+            elif idx >= 512 and idx * 2 >= n:
+                # Trim the consumed prefix so a long-lived bucket does
+                # not pin every event it ever held.
+                del events[:idx]
+                bucket[0] = 0
+            else:
+                bucket[0] = idx
             event._queue = None
             self._live -= 1
             return event
         return None
 
+    def pop_epoch(self, until=None):
+        """Pop *all* live events at the earliest scheduled timestamp.
+
+        Returns the batch as a list in deterministic ``order`` sequence,
+        or ``None`` when the queue is drained or the earliest live event
+        fires strictly after ``until``.  Events scheduled *at the same
+        timestamp* while the batch executes land in a fresh bucket and
+        are returned by the next ``pop_epoch`` call, preserving exact
+        ``(time, order)`` semantics.  This is the engine's run-loop fast
+        path: one heap pop per distinct timestamp, however many events
+        share it.
+        """
+        times = self._times
+        buckets = self._buckets
+        while times:
+            t = times[0]
+            bucket = buckets[t]
+            idx, events = bucket
+            n = len(events)
+            while idx < n and events[idx].cancelled:
+                idx += 1
+                self._debris -= 1
+            if idx >= n:
+                heapq.heappop(times)
+                del buckets[t]
+                continue
+            if until is not None and t > until:
+                bucket[0] = idx
+                return None
+            batch = []
+            append = batch.append
+            for ev in events[idx:]:
+                if ev.cancelled:
+                    self._debris -= 1
+                else:
+                    ev._queue = None
+                    append(ev)
+            self._live -= len(batch)
+            heapq.heappop(times)
+            del buckets[t]
+            return batch
+        return None
+
+    def restore(self, events):
+        """Put back the unfired tail of a popped epoch batch.
+
+        Used when the run loop exits mid-batch (``stop()`` or the
+        ``max_events`` budget): the remaining events re-enter the queue
+        ahead of anything scheduled at the same timestamp since the
+        batch was popped (their ``order`` values are smaller, so this
+        preserves deterministic ordering).
+        """
+        live = [ev for ev in events if not ev.cancelled]
+        if not live:
+            return
+        t = live[0].time
+        for ev in live:
+            ev._queue = self
+        bucket = self._buckets.get(t)
+        if bucket is None:
+            self._buckets[t] = [0, live]
+            heapq.heappush(self._times, t)
+        else:
+            idx = bucket[0]
+            bucket[1][idx:idx] = live
+        self._live += len(live)
+
     def peek_time(self):
         """Return the time of the earliest live event without popping it."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0][0]
+        times = self._times
+        buckets = self._buckets
+        while times:
+            t = times[0]
+            bucket = buckets[t]
+            idx, events = bucket
+            n = len(events)
+            while idx < n and events[idx].cancelled:
+                idx += 1
+                self._debris -= 1
+            if idx >= n:
+                heapq.heappop(times)
+                del buckets[t]
+                continue
+            bucket[0] = idx
+            return t
+        return None
 
 
 class SimulationEngine:
@@ -204,31 +328,50 @@ class SimulationEngine:
         ----------
         until:
             Stop once the next event would fire strictly after this
-            cycle (the event is left in the queue).
+            cycle (the event is left in the queue).  The clock always
+            advances to ``until`` on a horizon exit — including when the
+            queue drained completely, so ``run_for`` windows measure the
+            same wall regardless of queue occupancy.  Exits via
+            :meth:`stop` or the event budget leave the clock at the last
+            fired event.
         max_events:
-            Safety valve against runaway simulations.
+            Safety valve against runaway simulations.  Unfired events of
+            a partially-drained epoch are restored to the queue.
 
         Returns the number of events fired during this call.
         """
         fired = 0
         self._stopped = False
         queue = self.queue
-        while not self._stopped:
-            if max_events is not None and fired >= max_events:
-                break
-            event = queue.pop_due(until)
-            if event is None:
-                if until is not None and queue.peek_time() is not None:
-                    # The next event is beyond the horizon; time still
-                    # advances to it (run_for semantics).
+        while not self._stopped and (max_events is None or fired < max_events):
+            batch = queue.pop_epoch(until)
+            if batch is None:
+                if until is not None and until > self.now:
                     self.now = until
                 break
-            if event.time < self.now:
-                self.monotonicity_violations += 1
-            self.now = event.time
-            if self._trace is not None:
-                self._trace.append((event.time, event.label))
-            event.callback()
-            fired += 1
+            i = 0
+            n = len(batch)
+            interrupted = False
+            while i < n:
+                if self._stopped or (
+                    max_events is not None and fired >= max_events
+                ):
+                    queue.restore(batch[i:])
+                    interrupted = True
+                    break
+                event = batch[i]
+                i += 1
+                if event.cancelled:
+                    continue
+                time = event.time
+                if time < self.now:
+                    self.monotonicity_violations += 1
+                self.now = time
+                if self._trace is not None:
+                    self._trace.append((time, event.label))
+                event.callback()
+                fired += 1
+            if interrupted:
+                break
         self.events_fired += fired
         return fired

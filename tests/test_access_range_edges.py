@@ -74,6 +74,35 @@ class TestBatchedEquivalence:
                 assert cache_state(bat) == cache_state(ref)
             assert (bat.hits, bat.misses) == (ref.hits, ref.misses)
 
+    def test_miss_count_generator_equals_n_accesses(self):
+        # Regression: the all-MRU shortcut probed ``mru.issuperset(lines)``
+        # first, which *consumed* one-shot iterables -- len() then blew
+        # up on the all-MRU path and the fallback loop saw an empty
+        # sequence (0 misses, no state change) everywhere else.
+        for seed in range(5):
+            ref = make_cache()
+            bat = make_cache()
+            for lines in self._random_trace(seed + 300, 40, 256):
+                ref_misses = sum(not ref.access(line) for line in lines)
+                gen = (line for line in lines)
+                assert bat.miss_count(gen) == ref_misses
+                assert cache_state(bat) == cache_state(ref)
+            assert (bat.hits, bat.misses) == (ref.hits, ref.misses)
+
+    def test_miss_count_generator_on_all_mru_walk(self):
+        # The generator must also survive the shortcut itself: warm the
+        # lines to MRU, then re-fetch them through a generator.
+        ref = make_cache()
+        bat = make_cache()
+        warm = [3, 7, 11]
+        ref_first = sum(not ref.access(line) for line in warm)
+        assert bat.miss_count(line for line in warm) == ref_first
+        ref_again = sum(not ref.access(line) for line in warm)
+        assert ref_again == 0
+        assert bat.miss_count(line for line in warm) == 0
+        assert (bat.hits, bat.misses) == (ref.hits, ref.misses)
+        assert cache_state(bat) == cache_state(ref)
+
     def test_trace_cache_equals_set_assoc(self):
         geometry = CacheGeometry(2048, 8, line=64, name="TC")
         for seed in range(5):

@@ -33,3 +33,48 @@ class TestDefaultOutPath:
         path = bench.default_out_path("2026-08-07T12:34:56")
         assert ":" not in os.path.basename(path)
         assert path.startswith(bench.PERF_DIR)
+
+
+def _report(engine, score):
+    return {
+        "engine": engine,
+        "cells": [
+            {"mode": "none", "size": 1024, "direction": "rx",
+             "engine": engine, "score": score},
+        ],
+    }
+
+
+class TestCheckAgainstBaseline:
+    def _with_baseline(self, bench, tmp_path, monkeypatch, baseline):
+        import json
+
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(baseline))
+        monkeypatch.setattr(bench, "BASELINE", str(path))
+
+    def test_same_engine_regression_fails(self, bench, tmp_path, monkeypatch):
+        self._with_baseline(bench, tmp_path, monkeypatch, _report("pure", 10.0))
+        assert bench.check_against_baseline(_report("pure", 20.0), 0.15) == 1
+
+    def test_same_engine_within_threshold_passes(self, bench, tmp_path,
+                                                 monkeypatch):
+        self._with_baseline(bench, tmp_path, monkeypatch, _report("pure", 10.0))
+        assert bench.check_against_baseline(_report("pure", 10.5), 0.15) == 0
+
+    def test_cross_engine_check_skips_gate(self, bench, tmp_path, monkeypatch,
+                                           capsys):
+        # A compiled-engine run against a pure baseline would "pass"
+        # any regression (or fail any improvement); the gate must skip.
+        self._with_baseline(bench, tmp_path, monkeypatch, _report("pure", 10.0))
+        assert bench.check_against_baseline(_report("compiled", 99.0),
+                                            0.15) == 0
+        assert "skipping score gate" in capsys.readouterr().err
+
+    def test_legacy_baseline_defaults_to_pure(self, bench, tmp_path,
+                                              monkeypatch):
+        # Baselines written before the engine field existed are pure.
+        base = _report("pure", 10.0)
+        del base["engine"]
+        self._with_baseline(bench, tmp_path, monkeypatch, base)
+        assert bench.check_against_baseline(_report("pure", 20.0), 0.15) == 1

@@ -49,3 +49,78 @@ class TestGainStatistics:
         )
         assert summary.minimum > 0.0
         assert summary.mean > 0.03
+
+
+class _FakeResult:
+    def __init__(self, config):
+        # Deterministic per-cell metric so gains are checkable: the
+        # affinity modes get distinct throughputs per seed.
+        bump = {"none": 0.0, "full": 1.0}.get(config.affinity, 0.5)
+        self.throughput_gbps = 1.0 + 0.1 * config.seed + bump
+        self.cost_ghz_per_gbps = 1.0
+
+
+class TestDuplicateSeedDedupe:
+    """Regression: duplicated (seed, affinity) cells used to collapse in
+    ``dict(zip(pairs, results))`` while the Summary still counted the
+    duplicated seeds twice."""
+
+    @pytest.fixture
+    def fake_runs(self, monkeypatch):
+        calls = []
+
+        def fake_run_experiment(config, cache=None, progress=None):
+            calls.append((config.seed, config.affinity))
+            return _FakeResult(config)
+
+        monkeypatch.setattr(
+            "repro.core.repeat.run_experiment", fake_run_experiment
+        )
+        return calls
+
+    def test_replicate_collapses_duplicate_seeds(self, fake_runs):
+        config = ExperimentConfig(direction="tx", message_size=1024,
+                                  affinity="full", **SMALL)
+        with pytest.warns(RuntimeWarning, match="duplicate sweep cells"):
+            summary = replicate(config, seeds=(3, 3, 5))
+        # The duplicate seed is neither re-run nor double-counted.
+        assert len(fake_runs) == 2
+        assert len(summary.values) == 2
+
+    def test_replicate_unique_seeds_do_not_warn(self, fake_runs, recwarn):
+        config = ExperimentConfig(direction="tx", message_size=1024,
+                                  affinity="full", **SMALL)
+        summary = replicate(config, seeds=(3, 5))
+        assert len(summary.values) == 2
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, RuntimeWarning)]
+
+    def test_gain_statistics_collapses_duplicate_seeds(self, fake_runs):
+        with pytest.warns(RuntimeWarning, match="duplicate sweep cells"):
+            summary = gain_statistics(
+                "tx", 1024, "full", seeds=(3, 3, 9), **SMALL
+            )
+        # 2 unique seeds x 2 modes, each run exactly once.
+        assert len(fake_runs) == 4
+        assert len(summary.values) == 2
+        expected = [
+            _FakeResult(ExperimentConfig(
+                direction="tx", message_size=1024, affinity="full",
+                seed=s, **SMALL)).throughput_gbps
+            / _FakeResult(ExperimentConfig(
+                direction="tx", message_size=1024, affinity="none",
+                seed=s, **SMALL)).throughput_gbps
+            - 1.0
+            for s in (3, 9)
+        ]
+        assert summary.values == pytest.approx(expected)
+
+    def test_gain_statistics_mode_equal_to_baseline(self, fake_runs):
+        # mode == baseline duplicates every pair; the gain is honestly
+        # zero and each cell still runs only once.
+        with pytest.warns(RuntimeWarning, match="duplicate sweep cells"):
+            summary = gain_statistics(
+                "tx", 1024, "none", baseline="none", seeds=(3,), **SMALL
+            )
+        assert len(fake_runs) == 1
+        assert summary.values == [0.0]

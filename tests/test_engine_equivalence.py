@@ -1,0 +1,365 @@
+"""Array-backed state vs the reference implementations, on random traces.
+
+The compiled charging engine stores all microarchitectural state in
+flat arrays (``repro.cpu.arraystate``, ``repro.mem.directory``,
+``repro.mem.arraysystem``, ``repro.prof.slotaccounting``).  These
+property-style tests drive each array class and its reference twin
+through the same long randomized operation sequences and require
+bit-identical observable state after *every* operation -- return
+values, counters, residency and LRU order.  Seeds are fixed so a
+failure replays exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.cpu.arraystate import (
+    ArrayBranchPredictor,
+    ArraySetAssocCache,
+    ArrayTlb,
+    ArrayTraceCache,
+)
+from repro.cpu.branch import BranchPredictor
+from repro.cpu.cache import SetAssocCache, TraceCache
+from repro.cpu.function import FunctionSpec
+from repro.cpu.params import CacheGeometry, TlbGeometry
+from repro.cpu.tlb import Tlb
+from repro.mem.arraysystem import CompiledMemorySystem
+from repro.mem.directory import LineDirectory
+from repro.mem.system import MemorySystem
+from repro.prof.accounting import ExactAccounting
+from repro.prof.slotaccounting import ArrayAccounting, SlotRegistry
+
+N_OPS = 3000
+
+
+def small_cache_geometry():
+    # 4 sets x 2 ways: tiny so random traces exercise eviction heavily.
+    return CacheGeometry(size=512, ways=2, name="test")
+
+
+class TestCacheEquivalence:
+    def check_state(self, ref, arr):
+        assert arr.sets_snapshot() == ref._sets
+        assert arr.hits == ref.hits
+        assert arr.misses == ref.misses
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_trace(self, seed):
+        rng = random.Random(seed)
+        geom = small_cache_geometry()
+        ref = SetAssocCache(geom)
+        arr = ArraySetAssocCache(geom)
+        lines = list(range(24))
+        for _ in range(N_OPS):
+            op = rng.randrange(8)
+            if op <= 2:
+                line = rng.choice(lines)
+                assert arr.access(line) == ref.access(line)
+            elif op == 3:
+                first = rng.choice(lines)
+                n = rng.randrange(1, 6)
+                assert arr.access_range(first, n) == ref.access_range(first, n)
+            elif op == 4:
+                batch = [rng.choice(lines) for _ in range(rng.randrange(6))]
+                assert arr.miss_count(batch) == ref.miss_count(batch)
+            elif op == 5:
+                line = rng.choice(lines)
+                assert arr.probe(line) == ref.probe(line)
+                ref.fill(line)
+                arr.fill(line)
+            elif op == 6:
+                line = rng.choice(lines)
+                ref.invalidate(line)
+                arr.invalidate(line)
+            else:
+                assert arr.occupancy() == ref.occupancy()
+                assert sorted(arr.resident_lines()) == sorted(
+                    ref.resident_lines())
+            self.check_state(ref, arr)
+        ref.flush()
+        arr.flush()
+        self.check_state(ref, arr)
+
+    def test_miss_count_consumes_generator_once(self):
+        arr = ArraySetAssocCache(small_cache_geometry())
+        arr.fill(3)
+        assert arr.miss_count(line for line in (3, 3, 11)) == 1
+        assert arr.hits == 2 and arr.misses == 1
+
+
+class TestTraceCacheEquivalence:
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_random_fetch_trace(self, seed):
+        rng = random.Random(seed)
+        geom = small_cache_geometry()
+        ref = TraceCache(geom)
+        arr = ArrayTraceCache(geom)
+        for _ in range(N_OPS):
+            first = rng.randrange(24)
+            n = rng.randrange(1, 5)
+            batch = range(first, first + n)
+            assert arr.miss_count(batch) == ref.miss_count(batch)
+            assert arr.hits == ref.hits
+            assert arr.misses == ref.misses
+            # Reference sets are dicts in LRU-to-MRU order; the array
+            # keeps MRU first.
+            assert [list(reversed(s)) for s in arr.sets_snapshot()] == [
+                list(bucket) for bucket in ref._sets
+            ]
+            if rng.randrange(50) == 0:
+                ref.flush()
+                arr.flush()
+
+
+class TestTlbEquivalence:
+    PAGE = 4096
+
+    def check_state(self, ref, arr):
+        assert arr.resident_pages() == ref.resident_pages()
+        assert arr.hits == ref.hits
+        assert arr.walks == ref.walks
+
+    @pytest.mark.parametrize("seed", [6, 7, 8])
+    def test_random_trace(self, seed):
+        rng = random.Random(seed)
+        geom = TlbGeometry(entries=8, name="test")
+        ref = Tlb(geom)
+        arr = ArrayTlb(geom)
+        for _ in range(N_OPS):
+            op = rng.randrange(8)
+            if op <= 3:
+                page = rng.randrange(20)
+                assert arr.access(page) == ref.access(page)
+            elif op <= 5:
+                addr = rng.randrange(20 * self.PAGE)
+                size = rng.choice([0, 1, 64, self.PAGE, 3 * self.PAGE])
+                assert arr.access_range(addr, size) == ref.access_range(
+                    addr, size)
+            elif op == 6:
+                boundary = rng.randrange(20)
+                ref.flush_below(boundary)
+                arr.flush_below(boundary)
+            else:
+                ref.flush()
+                arr.flush()
+            self.check_state(ref, arr)
+
+    def test_flush_below_keeps_buffer_identity(self):
+        # The C engine binds the page buffer once; compaction must not
+        # reallocate it.
+        arr = ArrayTlb(TlbGeometry(entries=4, name="test"))
+        buf = arr._pages
+        for page in (1, 9, 2, 8):
+            arr.access(page)
+        arr.flush_below(5)
+        assert arr._pages is buf
+        assert arr.resident_pages() == [8, 9]
+
+
+class TestBranchPredictorEquivalence:
+    @pytest.mark.parametrize("seed", [9, 10, 11])
+    def test_random_trace(self, seed):
+        rng = random.Random(seed)
+        names = ["fn%d" % i for i in range(12)]
+        ref = BranchPredictor(capacity=6)
+        arr = ArrayBranchPredictor(6, SlotRegistry(capacity=4))
+        for _ in range(N_OPS):
+            op = rng.randrange(10)
+            name = rng.choice(names)
+            if op <= 6:
+                branches = rng.randrange(-1, 40)
+                rate = rng.choice([0.0, 0.004, 0.011, 0.3, 1.5])
+                assert arr.predict(name, branches, rate) == ref.predict(
+                    name, branches, rate)
+            elif op == 7:
+                ref.forget(name)
+                arr.forget(name)
+            else:
+                assert arr.warmth(name) == ref.warmth(name)
+            assert arr.mispredicts == ref.mispredicts
+            assert arr.cold_events == ref.cold_events
+            assert arr.tracked_names() == list(ref._entries)
+
+
+class TestLineDirectory:
+    def test_random_inserts_against_dict(self):
+        rng = random.Random(12)
+        model = {}
+        directory = LineDirectory(initial_slots=16)
+        # Contiguous zones plus scattered lines; enough to force growth.
+        lines = list(range(1000, 1200)) + [rng.randrange(1 << 40)
+                                           for _ in range(200)]
+        rng.shuffle(lines)
+        for line in lines:
+            if line not in model:
+                model[line] = [rng.randrange(16), rng.randrange(-1, 4)]
+                directory.insert(line, *model[line])
+            else:
+                idx = directory.find(line)
+                model[line][0] |= 1 << rng.randrange(4)
+                directory._sharers[idx] = model[line][0]
+        assert len(directory) == len(model)
+        for line, (sharers, owner) in model.items():
+            assert directory.get(line) == (sharers, owner)
+            assert line in directory
+        assert directory.get(max(model) + 1) is None
+        assert sorted(directory.items()) == sorted(
+            (line, sharers, owner)
+            for line, (sharers, owner) in model.items())
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            LineDirectory(initial_slots=48)
+
+
+class _RecordingCpu:
+    """Stands in for a CPU: records coherence invalidations."""
+
+    def __init__(self, index, domain):
+        self.index = index
+        self.domain = domain
+        self.invalidated = []
+
+    def invalidate_line(self, line):
+        self.invalidated.append(line)
+
+
+def _attach_cpus(memsys):
+    cpus = [_RecordingCpu(i, domain=i // 2) for i in range(4)]
+    for cpu in cpus:
+        memsys.attach_cpu(cpu)
+    return cpus
+
+
+class TestMemorySystemEquivalence:
+    def check_state(self, ref, arr, ref_cpus, arr_cpus, lines):
+        assert arr.invalidations == ref.invalidations
+        assert arr.c2c_transfers == ref.c2c_transfers
+        assert arr.dma_lines_read == ref.dma_lines_read
+        assert arr.dma_lines_written == ref.dma_lines_written
+        for line in lines:
+            assert arr.sharers_of(line) == ref.sharers_of(line)
+            assert arr.owner_of(line) == ref.owner_of(line)
+        for rc, ac in zip(ref_cpus, arr_cpus):
+            assert ac.invalidated == rc.invalidated
+
+    @pytest.mark.parametrize("seed", [13, 14])
+    @pytest.mark.parametrize("dma_read_invalidates", [True, False])
+    def test_random_coherence_trace(self, seed, dma_read_invalidates):
+        rng = random.Random(seed)
+        ref = MemorySystem(dma_read_invalidates=dma_read_invalidates)
+        arr = CompiledMemorySystem(dma_read_invalidates=dma_read_invalidates)
+        ref_cpus = _attach_cpus(ref)
+        arr_cpus = _attach_cpus(arr)
+        lines = list(range(64))
+        for _ in range(N_OPS):
+            op = rng.randrange(10)
+            line = rng.choice(lines)
+            domain = rng.randrange(2)
+            if op <= 2:
+                ref.note_fill(line, domain)
+                arr.note_fill(line, domain)
+            elif op <= 5:
+                assert arr.read_miss(line, domain) == ref.read_miss(
+                    line, domain)
+            elif op <= 7:
+                assert arr.make_exclusive(line, domain) == ref.make_exclusive(
+                    line, domain)
+            elif op == 8:
+                addr, size = rng.randrange(64 * 64), rng.choice([0, 1, 200])
+                ref.dma_write(addr, size)
+                arr.dma_write(addr, size)
+            else:
+                addr, size = rng.randrange(64 * 64), rng.choice([0, 1, 200])
+                ref.dma_read(addr, size)
+                arr.dma_read(addr, size)
+        self.check_state(ref, arr, ref_cpus, arr_cpus, lines)
+
+    def test_counter_reset_assignment(self):
+        # Machine.reset_measurement assigns these counters directly.
+        arr = CompiledMemorySystem()
+        arr.note_fill(5, 0)
+        arr.make_exclusive(5, 1)
+        _attach_cpus(arr)
+        arr.invalidations = 0
+        arr.c2c_transfers = 0
+        assert arr.invalidations == 0
+        assert arr._stats[0] == 0
+
+    def test_bus_update_matches_reference(self):
+        from repro.cpu.params import CostModel
+
+        costs = CostModel()
+        ref = MemorySystem()
+        arr = CompiledMemorySystem()
+        rng = random.Random(15)
+        for _ in range(100):
+            slots = rng.randrange(0, 5000)
+            window = rng.choice([0, 1000, 4000])
+            ref.update_bus(slots, window, costs)
+            arr.update_bus(slots, window, costs)
+            assert arr.bus_utilization == ref.bus_utilization
+            assert arr.bus_delay == ref.bus_delay
+
+
+def _spec(name, bin="engine"):
+    return FunctionSpec(name=name, bin=bin, code_addr=0x1000, code_size=256)
+
+
+class TestAccountingEquivalence:
+    def test_random_charges_match_reference(self):
+        rng = random.Random(16)
+        specs = [_spec("fn%d" % i, bin=("engine" if i % 3 else "other"))
+                 for i in range(40)]
+        registry = SlotRegistry(capacity=8)  # force growth mid-trace
+        ref = ExactAccounting()
+        arr = ArrayAccounting(n_cpus=2, registry=registry)
+        for _ in range(N_OPS):
+            spec = rng.choice(specs)
+            cpu = rng.randrange(2)
+            vec = [rng.randrange(100) for _ in range(11)]
+            ref.record(cpu, spec, *vec)
+            arr.record(cpu, spec, *vec)
+        assert arr.rows() == [
+            (key, list(vec)) for key, vec in ref.rows()
+        ]
+        for cpu_index in (None, 0, 1):
+            for include_idle in (False, True):
+                assert arr.per_function(cpu_index, include_idle) == \
+                    ref.per_function(cpu_index, include_idle)
+            assert arr.per_bin(cpu_index) == ref.per_bin(cpu_index)
+        for include_idle in (False, True):
+            assert arr.total(include_idle) == ref.total(include_idle)
+        assert arr.cpus() == ref.cpus()
+
+    def test_disabled_records_nothing(self):
+        registry = SlotRegistry()
+        arr = ArrayAccounting(n_cpus=1, registry=registry)
+        arr.enabled = False
+        arr.record(0, _spec("fn"), *([1] * 11))
+        assert arr.rows() == []
+        arr.enabled = True
+        arr.record(0, _spec("fn"), *([1] * 11))
+        assert len(arr.rows()) == 1
+
+    def test_reset_preserves_slots(self):
+        registry = SlotRegistry()
+        arr = ArrayAccounting(n_cpus=2, registry=registry)
+        spec = _spec("fn")
+        arr.record(1, spec, *([2] * 11))
+        slot = registry.slot_for(spec)
+        arr.reset()
+        assert arr.rows() == []
+        assert registry.slot_for(spec) == slot
+
+    def test_registry_growth_notifies_branch_predictor(self):
+        registry = SlotRegistry(capacity=2)
+        bp = ArrayBranchPredictor(8, registry)
+        ref = BranchPredictor(capacity=8)
+        for i in range(10):  # crosses two growths
+            name = "fn%d" % i
+            assert bp.predict(name, 20, 0.01) == ref.predict(name, 20, 0.01)
+        assert bp.tracked_names() == list(ref._entries)
+        assert registry.capacity >= 10

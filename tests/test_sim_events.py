@@ -86,16 +86,68 @@ class TestEventQueue:
         assert q.pop().time == 2
         assert len(q) == 0
 
-    def test_mass_cancellation_compacts_heap(self):
+    def test_mass_cancellation_compacts_storage(self):
         q = EventQueue()
         events = [q.schedule(t, lambda: None) for t in range(200)]
         for ev in events[:150]:
             ev.cancel()
         assert len(q) == 50
         # Opportunistic compaction bounds the cancelled debris: the
-        # physical heap never grows past twice the live count.
-        assert len(q._heap) <= 2 * len(q)
-        assert len(q._heap) < 200
+        # physical store never grows past twice the live count.
+        assert q.physical_size() <= 2 * len(q)
+        assert q.physical_size() < 200
+
+    def test_compaction_drops_empty_buckets(self):
+        q = EventQueue()
+        keep = q.schedule(7, lambda: None)
+        doomed = [q.schedule(t, lambda: None) for t in range(100, 300)]
+        for ev in doomed:
+            ev.cancel()
+        assert len(q) == 1
+        # Compaction stops below COMPACT_MIN; debris is bounded by it.
+        assert q.physical_size() <= EventQueue.COMPACT_MIN
+        assert q.pop() is keep
+        assert q.pop() is None
+
+    def test_pop_epoch_returns_same_time_run(self):
+        q = EventQueue()
+        a = q.schedule(5, lambda: None, label="a")
+        b = q.schedule(5, lambda: None, label="b")
+        q.schedule(9, lambda: None, label="c")
+        batch = q.pop_epoch()
+        assert batch == [a, b]
+        assert len(q) == 1
+        assert q.peek_time() == 9
+
+    def test_pop_epoch_respects_until(self):
+        q = EventQueue()
+        q.schedule(50, lambda: None)
+        assert q.pop_epoch(until=49) is None
+        assert len(q) == 1
+        assert len(q.pop_epoch(until=50)) == 1
+
+    def test_pop_epoch_skips_cancelled_members(self):
+        q = EventQueue()
+        a = q.schedule(5, lambda: None)
+        b = q.schedule(5, lambda: None)
+        c = q.schedule(5, lambda: None)
+        b.cancel()
+        assert q.pop_epoch() == [a, c]
+        assert len(q) == 0
+        assert q.physical_size() == 0
+
+    def test_restore_precedes_later_same_time_schedules(self):
+        q = EventQueue()
+        a = q.schedule(5, lambda: None, label="a")
+        b = q.schedule(5, lambda: None, label="b")
+        batch = q.pop_epoch()
+        assert batch == [a, b]
+        # A callback of ``a`` schedules another event at t=5...
+        c = q.schedule(5, lambda: None, label="c")
+        # ...then the loop is interrupted before ``b`` fires.
+        q.restore(batch[1:])
+        assert q.pop() is b
+        assert q.pop() is c
 
     def test_pop_order_survives_compaction(self):
         q = EventQueue()
@@ -168,6 +220,81 @@ class TestSimulationEngine:
         eng.schedule_at(0, reschedule)
         fired = eng.run(max_events=25)
         assert fired == 25
+
+    def test_run_until_advances_clock_when_queue_drains(self):
+        # Regression: the horizon advance used to be conditional on a
+        # beyond-horizon event remaining queued, so run(until=...) over
+        # a drained queue left ``now`` at the last fired event and gave
+        # different run_for semantics than a non-empty queue.
+        eng = SimulationEngine()
+        eng.schedule_at(5, lambda: None)
+        fired = eng.run(until=100)
+        assert fired == 1
+        assert eng.now == 100
+
+    def test_run_until_advances_clock_on_empty_queue(self):
+        eng = SimulationEngine()
+        fired = eng.run(until=50)
+        assert fired == 0
+        assert eng.now == 50
+
+    def test_stop_exit_does_not_advance_to_horizon(self):
+        eng = SimulationEngine()
+        eng.schedule_at(5, lambda: eng.stop())
+        eng.run(until=100)
+        assert eng.now == 5
+
+    def test_max_events_exit_does_not_advance_to_horizon(self):
+        eng = SimulationEngine()
+        eng.schedule_at(5, lambda: None)
+        eng.schedule_at(7, lambda: None)
+        fired = eng.run(until=100, max_events=1)
+        assert fired == 1
+        assert eng.now == 5
+        # The unfired event survives and the next run picks it up.
+        assert eng.run(until=100) == 1
+        assert eng.now == 100
+
+    def test_stop_mid_epoch_restores_remaining_events(self):
+        eng = SimulationEngine()
+        seen = []
+        eng.schedule_at(5, lambda: (seen.append("a"), eng.stop()))
+        eng.schedule_at(5, lambda: seen.append("b"))
+        eng.schedule_at(5, lambda: seen.append("c"))
+        eng.run()
+        assert seen == ["a"]
+        assert len(eng.queue) == 2
+        eng.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_same_time_schedule_during_epoch_fires_in_order(self):
+        eng = SimulationEngine()
+        seen = []
+
+        def first():
+            seen.append("first")
+            eng.schedule_at(5, lambda: seen.append("late"))
+
+        eng.schedule_at(5, first)
+        eng.schedule_at(5, lambda: seen.append("second"))
+        eng.run()
+        assert seen == ["first", "second", "late"]
+        assert eng.now == 5
+
+    def test_cancel_mid_epoch_skips_member(self):
+        eng = SimulationEngine()
+        seen = []
+        holder = {}
+
+        def first():
+            seen.append("first")
+            holder["b"].cancel()
+
+        eng.schedule_at(5, first)
+        holder["b"] = eng.schedule_at(5, lambda: seen.append("b"))
+        eng.schedule_at(5, lambda: seen.append("c"))
+        eng.run()
+        assert seen == ["first", "c"]
 
     def test_events_fired_accumulates(self):
         eng = SimulationEngine()

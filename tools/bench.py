@@ -3,6 +3,7 @@
     PYTHONPATH=src python tools/bench.py [--quick] [--repeats N]
     PYTHONPATH=src python tools/bench.py --check [--threshold 0.15]
     PYTHONPATH=src python tools/bench.py --update-baseline
+    PYTHONPATH=src python tools/bench.py --compare-engines [--min-speedup X]
 
 Runs a matrix of ttcp cells (affinity mode x message size), timing
 each one end to end with ``time.process_time`` (CPU time: immune to
@@ -26,6 +27,19 @@ catches real regressions (tens of percent), not micro-noise.
 
 The experiment result cache is always bypassed; a cache hit would
 time a file read.
+
+Engines
+-------
+``--engine pure|compiled|auto`` selects the charging engine for the
+matrix (default: whatever ``$REPRO_ENGINE`` says, i.e. pure).  Reports
+record which engine actually ran, and ``--check`` refuses to compare
+scores across engines -- a compiled-engine run against a pure baseline
+would "pass" any regression.
+
+``--compare-engines`` times the pure and compiled engines against each
+other on the 64KB RX cell, interleaved ABBA (pure, compiled, compiled,
+pure per round) so drift in machine load hits both variants equally.
+``--min-speedup`` (default 0: report only) turns it into a gate.
 """
 
 import argparse
@@ -154,7 +168,8 @@ def bench_cell(mode, size, direction, measure_ms, repeats):
     cfg = _cell_config(mode, size, direction, measure_ms)
     # One untimed run warms import caches, code objects and the
     # function-spec memos that persist across Machine instances.
-    run_experiment(cfg, cache=None)
+    result = run_experiment(cfg, cache=None)
+    engine = result.charge_engine
     times = []
     events = 0
     for _ in range(repeats):
@@ -171,6 +186,7 @@ def bench_cell(mode, size, direction, measure_ms, repeats):
         "direction": direction,
         "repeats": repeats,
         "measure_ms": measure_ms,
+        "engine": engine,
         "median_s": round(median, 4),
         "p90_s": round(p90, 4),
         "min_s": round(times[0], 4),
@@ -205,6 +221,9 @@ def run_matrix(args):
         "timestamp": now.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": "%d.%d.%d" % sys.version_info[:3],
         "direction": args.direction,
+        # Which charging engine actually ran (the request may have
+        # fallen back to pure if no toolchain was available).
+        "engine": rows[0]["engine"] if rows else "pure",
         "calibration_s": round(calib, 4),
         "quick": bool(args.quick),
         "cells": rows,
@@ -224,6 +243,16 @@ def check_against_baseline(report, threshold):
         return 1
     with open(BASELINE) as fh:
         base = json.load(fh)
+    base_engine = base.get("engine", "pure")
+    run_engine = report.get("engine", "pure")
+    if base_engine != run_engine:
+        # Cross-engine score ratios are meaningless (the compiled
+        # engine is 2-3x faster by design): skip the gate rather than
+        # pass-or-fail on noise.
+        print("baseline engine %r != run engine %r; skipping score gate "
+              "(re-run with --engine %s or refresh the baseline)"
+              % (base_engine, run_engine, base_engine), file=sys.stderr)
+        return 0
     base_cells = {
         (c["mode"], c["size"], c["direction"]): c for c in base["cells"]
     }
@@ -244,6 +273,66 @@ def check_against_baseline(report, threshold):
               % (cell["mode"], cell["size"], cell["score"], ref["score"],
                  (ratio - 1.0) * 100, verdict))
     return regressed
+
+
+#: The engine-comparison cell: 64KB RX, full affinity -- the batched
+#: copy walks dominate, which is exactly the path the compiled engine
+#: exists to accelerate.
+COMPARE_CELL = ("full", 65536)
+
+
+def _timed_cell_run(cfg, engine):
+    """One timed run of ``cfg`` under ``engine``; returns (secs, engine)."""
+    os.environ["REPRO_ENGINE"] = engine
+    t0 = time.process_time()
+    result = run_experiment(cfg, cache=None)
+    return time.process_time() - t0, result.charge_engine
+
+
+def compare_engines(args):
+    """Interleaved ABBA timing of pure vs compiled on the 64KB RX cell.
+
+    Returns 0 on success (speedup printed and, if ``--min-speedup`` is
+    set, at or above it), 1 otherwise.  Single-round medians lie on
+    shared runners; each round contributes one pure and one compiled
+    sample from both orders (P C / C P), so slow drift cancels.
+    """
+    mode, size = COMPARE_CELL
+    cfg = _cell_config(mode, size, args.direction, args.measure_ms)
+    saved = os.environ.get("REPRO_ENGINE")
+    try:
+        # Warm both engines untimed (first compiled run may pay a
+        # one-time cc invocation; first pure run warms spec memos).
+        _, pure_name = _timed_cell_run(cfg, "pure")
+        _, compiled_name = _timed_cell_run(cfg, "compiled")
+        if compiled_name != "compiled":
+            print("compiled engine unavailable (fell back to %r); "
+                  "cannot compare" % compiled_name, file=sys.stderr)
+            return 1
+        pure_times, compiled_times = [], []
+        for _ in range(args.repeats):
+            a, _ = _timed_cell_run(cfg, "pure")
+            b, _ = _timed_cell_run(cfg, "compiled")
+            c, _ = _timed_cell_run(cfg, "compiled")
+            d, _ = _timed_cell_run(cfg, "pure")
+            pure_times += [a, d]
+            compiled_times += [b, c]
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_ENGINE", None)
+        else:
+            os.environ["REPRO_ENGINE"] = saved
+    pure_med = statistics.median(pure_times)
+    compiled_med = statistics.median(compiled_times)
+    speedup = pure_med / compiled_med if compiled_med else 0.0
+    print("%-5s %6dB  pure median %.3fs  compiled median %.3fs  "
+          "speedup %.2fx" % (mode, size, pure_med, compiled_med, speedup),
+          file=sys.stderr)
+    if args.min_speedup and speedup < args.min_speedup:
+        print("speedup %.2fx below required %.2fx"
+              % (speedup, args.min_speedup), file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv=None):
@@ -269,7 +358,22 @@ def main(argv=None):
                         help="also record this bench as a run under "
                              "results/runs/ ($REPRO_RUNS_DIR) so "
                              "nightlies land in the cross-run index")
+    parser.add_argument("--engine", choices=("pure", "compiled", "auto"),
+                        default=None,
+                        help="charging engine for the matrix (default: "
+                             "$REPRO_ENGINE, i.e. pure)")
+    parser.add_argument("--compare-engines", action="store_true",
+                        help="time pure vs compiled (interleaved ABBA) on "
+                             "the 64KB RX cell and report the speedup")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="with --compare-engines: fail below this "
+                             "speedup (default 0: report only)")
     args = parser.parse_args(argv)
+
+    if args.compare_engines:
+        return compare_engines(args)
+    if args.engine is not None:
+        os.environ["REPRO_ENGINE"] = args.engine
 
     store = None
     if args.runstore:
