@@ -12,6 +12,7 @@ caching assumption.
 from repro.kernel.task import Task, WaitQueue
 from repro.kernel.timers import KernelTimer
 from repro.net.params import base_instructions
+from repro.prof.slotaccounting import ClassColumns
 
 
 class TtcpWorkload:
@@ -19,27 +20,52 @@ class TtcpWorkload:
 
     def __init__(self, machine, stack, message_size, offered_gbps=None):
         """``offered_gbps`` (transmit tests only) paces the writers to
-        a fixed aggregate offered load, split evenly across
-        connections, instead of the default write-as-fast-as-possible
-        loop.  Pacing is work-conserving against a cumulative byte
-        schedule: a writer that overslept (blocked on the send buffer,
-        or on the millisecond-granular kernel timer used to wait) sends
-        back-to-back until it catches up, so the average offered rate
-        holds.  Receive tests ignore it -- the remote source peer is
-        paced instead (see :meth:`repro.net.peer.Peer.set_pacing`)."""
+        a fixed aggregate offered load, split across connections in
+        proportion to their flow-class weight (evenly, when every
+        connection is one exact flow), instead of the default
+        write-as-fast-as-possible loop.  Pacing is work-conserving
+        against a cumulative byte schedule: a writer that overslept
+        (blocked on the send buffer, or on the millisecond-granular
+        kernel timer used to wait) sends back-to-back until it catches
+        up, so the average offered rate holds.  Receive tests ignore
+        it -- the remote source peer is paced instead (see
+        :meth:`repro.net.peer.Peer.set_pacing`)."""
         self.machine = machine
         self.stack = stack
         self.message_size = message_size
-        self.bytes_done = [0] * len(stack.connections)
-        self.messages_done = [0] * len(stack.connections)
-        self.tasks = []
         n = len(stack.connections)
+        # Fixed-size class-indexed columns (one slot per connection --
+        # a class representative or an exact flow), allocated at final
+        # size so measurement resets never re-bind the buffers.
+        self._cols = ClassColumns(n, ("bytes", "messages"))
+        self.bytes_done = self._cols.column("bytes")
+        self.messages_done = self._cols.column("messages")
+        # Representative ids are sparse under aggregation: translate
+        # conn_id -> column position instead of indexing positionally.
+        self._index = {
+            conn.conn_id: i for i, conn in enumerate(stack.connections)
+        }
+        self.tasks = []
         self._pace_cpb = None
         if offered_gbps is not None and stack.mode == "tx":
             if offered_gbps <= 0:
                 raise ValueError("offered_gbps must be positive")
-            per_conn = offered_gbps / float(n)
-            self._pace_cpb = machine.hz / (per_conn * 1e9 / 8.0)
+            total_flows = getattr(stack, "n_flows", n)
+            self._pace_cpb = []
+            self._pace_phase = []
+            for conn in stack.connections:
+                fc = getattr(conn, "flow_class", None)
+                weight = fc.weight if fc is not None else 1
+                per_conn = offered_gbps * weight / total_flows
+                cpb = machine.hz / (per_conn * 1e9 / 8.0)
+                self._pace_cpb.append(cpb)
+                # Stagger writer phases by connection id across one
+                # write interval: independent real flows start at
+                # random phases, so the population offers an evenly
+                # interleaved stream, not a lockstep herd.
+                self._pace_phase.append(
+                    int(conn.conn_id / total_flows * message_size * cpb)
+                )
             self._pace_t0 = [None] * n
             self._pace_offered = [0] * n
             self._pace_due = [False] * n
@@ -81,7 +107,7 @@ class TtcpWorkload:
     def _make_tx_body(self, conn):
         stack = self.stack
         size = self.message_size
-        index = conn.conn_id
+        index = self._index[conn.conn_id]
 
         def body(ctx):
             # Touch the buffer once so transmit copies run cache-warm
@@ -90,7 +116,7 @@ class TtcpWorkload:
             ctx.charge(warm, 50,
                        writes=[(conn.user_buffer.addr, conn.user_buffer.size)])
             if self._pace_cpb is not None:
-                self._pace_t0[index] = ctx.now
+                self._pace_t0[index] = ctx.now + self._pace_phase[index]
             while True:
                 n = yield from stack.sys_write(ctx, conn, size)
                 self.bytes_done[index] += n
@@ -98,7 +124,7 @@ class TtcpWorkload:
                 if self._pace_cpb is not None:
                     self._pace_offered[index] += n
                     target = self._pace_t0[index] + int(
-                        self._pace_offered[index] * self._pace_cpb
+                        self._pace_offered[index] * self._pace_cpb[index]
                     )
                     if ctx.now < target:
                         # Ahead of the offered-load schedule: arm a
@@ -122,7 +148,7 @@ class TtcpWorkload:
     def _make_rx_body(self, conn):
         stack = self.stack
         size = self.message_size
-        index = conn.conn_id
+        index = self._index[conn.conn_id]
 
         def body(ctx):
             while True:
@@ -142,8 +168,7 @@ class TtcpWorkload:
         return sum(self.bytes_done)
 
     def reset_stats(self):
-        self.bytes_done = [0] * len(self.bytes_done)
-        self.messages_done = [0] * len(self.messages_done)
+        self._cols.zero()
 
     def throughput_gbps(self, window_cycles, hz):
         """Goodput over the measurement window."""

@@ -315,6 +315,14 @@ def cmd_scale(args):
             print("[repro] unknown steering mode %r (choose from %s)"
                   % (mode, ", ".join(SCALE_MODES)), file=sys.stderr)
             return 2
+    conns = tuple(args.connections)
+    if min(conns) < args.queues:
+        print("[repro] --connections %d is below --queues %d: every "
+              "hardware queue needs at least one flow; raise the "
+              "connection count or drop --queues"
+              % (min(conns), args.queues), file=sys.stderr)
+        return 2
+    conn_axis = conns if len(conns) > 1 else None
     def body(store):
         runner = SweepRunner(
             jobs=args.jobs if args.jobs > 0 else default_jobs(),
@@ -331,26 +339,46 @@ def cmd_scale(args):
             sizes=sizes,
             modes=modes,
             n_queues=args.queues,
-            n_connections=args.connections,
+            n_connections=conns[0],
+            connections=conn_axis,
+            aggregation=args.aggregation,
             runner=runner,
             warmup_ms=args.warmup_ms,
             measure_ms=args.measure_ms,
             seed=args.seed,
         )
         lines = [render_scale_table(sweep, cpus, sizes, modes,
-                                    args.direction, args.queues)]
+                                    args.direction, args.queues,
+                                    connections=conn_axis)]
+        # The persisted report renders without the wall-clock/RSS
+        # columns: those measure this process, not the simulated
+        # machine, and the run store's resume guarantee is that a
+        # crashed-and-resumed grid reproduces report.txt byte for
+        # byte.
+        stored_lines = [render_scale_table(sweep, cpus, sizes, modes,
+                                           args.direction, args.queues,
+                                           connections=conn_axis,
+                                           live_resources=False)]
         for mode in modes:
-            eff = scaling_efficiency(sweep, sizes, cpus, mode)
-            for size in sizes:
-                row = " ".join(
-                    "--" if e is None else "%.2f" % e for e in eff[size]
-                )
-                lines.append("scaling efficiency %-13s %6dB: %s"
-                             % (mode, size, row))
+            for n_conn in (conn_axis or (None,)):
+                eff = scaling_efficiency(sweep, sizes, cpus, mode,
+                                         n_conn=n_conn)
+                tag = "" if n_conn is None else " %d flows" % n_conn
+                for size in sizes:
+                    row = " ".join(
+                        "--" if e is None else "%.2f" % e
+                        for e in eff[size]
+                    )
+                    line = ("scaling efficiency %-13s %6dB%s: %s"
+                            % (mode, size, tag, row))
+                    lines.append(line)
+                    stored_lines.append(line)
         report = "\n".join(lines) + "\n"
         print(report, end="")
         if store is not None:
-            store.write_artifact("report.txt", report)
+            store.write_artifact(
+                "report.txt", "\n".join(stored_lines) + "\n"
+            )
         if not runner.report.ok:
             print("[repro] scale sweep incomplete: %s"
                   % runner.report.summary(), file=sys.stderr)
@@ -598,9 +626,17 @@ def build_parser():
         "--queues", type=int, default=8,
         help="hardware RX queues on the shared 10GbE-class NIC")
     p_scale.add_argument(
-        "--connections", type=int, default=16,
-        help="flows; keep above --queues so flows share queues and "
+        "--connections", type=int, nargs="+", default=[16],
+        help="flow populations; one value keeps the classic grid, "
+             "several (e.g. 16 1000 10000 100000) add the flow-count "
+             "axis.  Keep above --queues so flows share queues and "
              "Flow Director retargets can race")
+    p_scale.add_argument(
+        "--aggregation", choices=("exact", "class", "auto"),
+        default="auto",
+        help="per-flow simulation fidelity: 'exact' simulates every "
+             "flow, 'class' one representative per RSS flow class, "
+             "'auto' (default) aggregates only large populations")
     p_scale.add_argument("--seed", type=int, default=7)
     p_scale.add_argument("--warmup-ms", type=int, default=2)
     p_scale.add_argument("--measure-ms", type=int, default=3)

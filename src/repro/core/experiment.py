@@ -15,7 +15,9 @@ import gc
 import hashlib
 import json
 import os
+import sys
 import tempfile
+import time
 import warnings
 
 from repro.apps.iscsi import IscsiTargetWorkload
@@ -37,6 +39,24 @@ MS = 2_000_000  # cycles per millisecond at 2 GHz
 
 #: Paper transaction sizes (Figures 3/4 x-axis).
 PAPER_SIZES = (128, 256, 1024, 4096, 8192, 16384, 65536)
+
+#: ``aggregation="auto"`` switches to flow-class aggregation above
+#: this many connections (multi-queue ttcp only).  Chosen so every
+#: paper-scale and scale-study-default configuration (<= 128 flows)
+#: stays on the exact path -- and keeps its pre-existing cache key.
+AUTO_AGGREGATION_MIN_FLOWS = 128
+
+
+def _peak_rss_kb():
+    """Peak resident set of this process in KB, or None if unknown."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS
+        peak //= 1024
+    return int(peak)
 
 
 class ExperimentConfig:
@@ -60,6 +80,7 @@ class ExperimentConfig:
         net_overrides=None,
         cpu_overrides=None,
         offered_gbps=None,
+        aggregation="exact",
     ):
         """``cost_overrides`` maps CostModel attribute names to values
         (e.g. ``{"c2c_transfer": 600}``), for sensitivity studies.
@@ -96,7 +117,20 @@ class ExperimentConfig:
         (peer-side for receive tests, writer-side for transmit)
         instead of running closed-loop.  All three follow the
         omit-when-default rule, so pre-existing cache keys -- and the
-        golden result hashes -- are unchanged."""
+        golden result hashes -- are unchanged.
+
+        ``aggregation`` selects how flows are simulated: ``"exact"``
+        (default) simulates every connection; ``"class"`` groups
+        statistically-identical flows by static RSS queue and
+        simulates one charged representative per class (multi-queue
+        ttcp only -- the validity envelope; see
+        :mod:`repro.net.flowclass`); ``"auto"`` resolves at
+        construction to ``"class"`` when the configuration is eligible
+        and has more than :data:`AUTO_AGGREGATION_MIN_FLOWS`
+        connections, else ``"exact"``.  The resolved value follows the
+        omit-when-default rule (``"exact"`` is omitted), so every
+        pre-existing config -- including ``"auto"`` at paper-scale
+        flow counts -- keeps its cache key."""
         if direction not in ("tx", "rx"):
             raise ValueError("direction must be 'tx' or 'rx'")
         if workload not in ("ttcp", "iscsi", "web"):
@@ -129,6 +163,28 @@ class ExperimentConfig:
         self.net_overrides = dict(net_overrides or {})
         self.cpu_overrides = dict(cpu_overrides or {})
         self.offered_gbps = offered_gbps
+        if aggregation not in ("exact", "class", "auto"):
+            raise ValueError(
+                "aggregation must be 'exact', 'class' or 'auto', got %r"
+                % (aggregation,)
+            )
+        eligible = n_queues > 1 and workload == "ttcp"
+        if aggregation == "auto":
+            # Resolve immediately: eligibility is a pure function of
+            # the config, and a resolved value keeps cache keys stable
+            # and round-trippable through to_dict().
+            aggregation = (
+                "class"
+                if eligible and n_connections > AUTO_AGGREGATION_MIN_FLOWS
+                else "exact"
+            )
+        elif aggregation == "class" and not eligible:
+            raise ValueError(
+                "aggregation='class' requires a multi-queue ttcp "
+                "configuration (n_queues > 1, workload='ttcp'); got "
+                "n_queues=%d workload=%r" % (n_queues, workload)
+            )
+        self.aggregation = aggregation
 
     def to_dict(self):
         d = dict(
@@ -165,6 +221,10 @@ class ExperimentConfig:
             d["cpu_overrides"] = self.cpu_overrides
         if self.offered_gbps is not None:
             d["offered_gbps"] = self.offered_gbps
+        # Omit-when-default: exact-path configs (everything that
+        # existed before aggregation) keep their keys byte-for-byte.
+        if self.aggregation != "exact":
+            d["aggregation"] = self.aggregation
         return d
 
     def key(self):
@@ -185,6 +245,8 @@ class ExperimentConfig:
             base += "+pert"
         if self.offered_gbps is not None:
             base += "+load%g" % self.offered_gbps
+        if self.aggregation != "exact":
+            base += "+agg"
         return base
 
     def __repr__(self):
@@ -322,6 +384,38 @@ class ExperimentResult:
                 peer_dup_acks_seen=sum(p.dup_acks_seen for p in peers),
                 peer_retransmits=sum(p.retransmits for p in peers),
             )
+        # Flow-class aggregation block: gated on an *actually
+        # aggregated* stack (any class weight > 1), so all-singleton
+        # class runs keep payloads byte-identical to the exact path.
+        if getattr(stack, "aggregated", False):
+            from repro.net.flowclass import flow_population
+            from repro.net.rss import FD_TABLE_CAPACITY, INDIRECTION_ENTRIES
+
+            fcs = stack.flow_classes
+            n_flows = stack.n_flows
+            rep_bytes = list(workload.bytes_done)
+            rep_messages = list(workload.messages_done)
+            pop = flow_population(n_flows, stack.n_queues)
+            data["flows"] = dict(
+                aggregation="class",
+                n_flows=n_flows,
+                n_simulated=len(fcs),
+                classes=[
+                    dict(queue=fc.queue, rep=fc.rep_conn_id,
+                         weight=fc.weight, bytes=int(b), messages=int(m))
+                    for fc, b, m in zip(fcs, rep_bytes, rep_messages)
+                ],
+                per_flow_throughput_gbps=(
+                    data["throughput_gbps"] / n_flows
+                ),
+                queue_occupancy=list(pop.occupancy()),
+                indirection_entries=INDIRECTION_ENTRIES,
+                flows_per_indirection_entry=(
+                    n_flows / float(INDIRECTION_ENTRIES)
+                ),
+                fd_table_capacity=FD_TABLE_CAPACITY,
+                fd_table_pressure=n_flows / float(FD_TABLE_CAPACITY),
+            )
         return cls(data)
 
     @classmethod
@@ -385,6 +479,11 @@ class ExperimentResult:
 
     def __getitem__(self, key):
         return self._data[key]
+
+    def payload_get(self, key, default=None):
+        """Optional payload section (e.g. ``"flows"``, present only on
+        aggregated runs), or ``default``."""
+        return self._data.get(key, default)
 
     def bin_vector(self, bin):
         """Event vector for one functional bin."""
@@ -457,6 +556,7 @@ def run_experiment(config, cache=None, progress=None):
             return hit
     if progress:
         progress("running %s" % config.label())
+    wall_t0 = time.perf_counter()
     machine = Machine(
         n_cpus=config.n_cpus,
         cpu_params=(
@@ -484,7 +584,16 @@ def run_experiment(config, cache=None, progress=None):
         net_kwargs["wire_gbps"] = 10.0
     # Perturbation overrides win over the derived defaults above.
     net_kwargs.update(config.net_overrides)
-    net_params = NetParams(**net_kwargs)
+    # Interned: every run (and every flow-class representative) with
+    # the same network constants shares one frozen parameter object.
+    net_params = NetParams.interned(**net_kwargs)
+    flow_classes = None
+    if config.aggregation == "class":
+        from repro.net.flowclass import partition_flows
+
+        _, flow_classes = partition_flows(
+            config.n_connections, config.n_queues
+        )
     stack = NetworkStack(
         machine,
         net_params,
@@ -492,16 +601,25 @@ def run_experiment(config, cache=None, progress=None):
         mode=stack_mode,
         message_size=config.message_size,
         n_queues=config.n_queues,
+        flow_classes=flow_classes,
     )
     if plan is not None and plan.enabled:
         FaultInjector(machine, plan).attach(stack)
     if config.offered_gbps is not None and config.direction == "rx":
         # Receive tests are offered load by the remote sources: pace
         # them (cycle-accurate token schedule), splitting the aggregate
-        # rate evenly across connections.
-        per_conn = config.offered_gbps / float(config.n_connections)
+        # rate across connections in proportion to flow-class weight
+        # (evenly when every connection is one exact flow).  Phases are
+        # staggered by connection id so the flow population offers an
+        # evenly-interleaved aggregate stream, as independent real
+        # flows do, instead of firing in lockstep.
         for conn in stack.connections:
-            conn.peer.set_pacing(per_conn)
+            fc = conn.flow_class
+            weight = fc.weight if fc is not None else 1
+            conn.peer.set_pacing(
+                config.offered_gbps * weight / config.n_connections,
+                phase=conn.conn_id / config.n_connections,
+            )
     if config.workload == "ttcp":
         workload = TtcpWorkload(
             machine, stack, config.message_size,
@@ -553,6 +671,13 @@ def run_experiment(config, cache=None, progress=None):
     # or compiled) -- both are bit-identical, so it must not enter the
     # payload or the cache key.
     result.charge_engine = machine.charge_engine
+    # Resource observability (live-run-only, outside _data for the
+    # same reason): wall-clock for this run and the process's peak
+    # resident set -- the scale study's evidence that flyweight +
+    # aggregation actually hold memory flat.  Absent on cache hits;
+    # sweep workers ship them back in a sidecar next to the payload.
+    result.wall_s = time.perf_counter() - wall_t0
+    result.peak_rss_kb = _peak_rss_kb()
     if tracer is not None:
         result._data["trace"] = summarize(tracer, machine.n_cpus)
         result.tracer = tracer

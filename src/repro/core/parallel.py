@@ -147,7 +147,17 @@ def _run_cell(config_dict, cache_dir, timeout=None):
             "kind": "error",
             "error": "%s: %s" % (type(exc).__name__, exc),
         }
-    return {"ok": True, "payload": result.to_dict()}
+    # Live-run-only attributes ride outside the payload (they must not
+    # enter hashes or cache keys); ship them as a sidecar so the scale
+    # report's resources table works under parallel sweeps too.  A
+    # worker-side cache hit legitimately has none -- the sidecar is
+    # all-None and the table renders "--".
+    live = {
+        name: getattr(result, name, None)
+        for name in ("wall_s", "peak_rss_kb", "events_fired",
+                     "charge_engine")
+    }
+    return {"ok": True, "payload": result.to_dict(), "live": live}
 
 
 class CellFailure:
@@ -461,6 +471,9 @@ class SweepRunner:
                     result = ExperimentResult.from_dict(
                         envelope["payload"]
                     )
+                    for name, value in envelope.get("live", {}).items():
+                        if value is not None:
+                            setattr(result, name, value)
                     self._store(key, config, result, slots, results)
                     done_count += 1
                     self._say_done(done_count, total, config)

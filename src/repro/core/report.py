@@ -296,66 +296,132 @@ def render_trace_crosscheck(result, label):
     return "\n".join(lines)
 
 
-def render_scale_table(sweep, cpus, sizes, modes, direction, n_queues):
-    """The multi-queue scaling study's three tables.
+def render_scale_table(sweep, cpus, sizes, modes, direction, n_queues,
+                       connections=None, live_resources=True):
+    """The multi-queue scaling study's four tables.
 
-    Throughput and GHz/Gbps cost per (n_cpus, size, mode), then the
+    Throughput and GHz/Gbps cost per (n_cpus, size, mode), the
     reordering table -- reorder-depth peak, SUT duplicate ACKs, peer
-    spurious retransmits and Flow Director retargets -- which is the
-    measurable difference between static RSS (always zero) and the
-    adaptive Flow Director (non-zero whenever consumers migrate).
-    Failed (``None``) cells render as ``FAIL``/``--``.
+    spurious retransmits and Flow Director retargets, the measurable
+    difference between static RSS (always zero) and the adaptive Flow
+    Director (non-zero whenever consumers migrate) -- and the
+    simulation-resource table (simulated representatives per cell,
+    plus wall-clock and peak RSS; ``--`` for cells served from the
+    result cache, which carry no live-run resource readings).
+
+    ``connections`` (a sequence of flow counts) reads the 4-tuple keys
+    of a connections-axis sweep and adds a flows column; ``None``
+    reads classic 3-tuple keys.  Failed (``None``) cells render as
+    ``FAIL``/``--``.
+
+    ``live_resources=False`` drops the wall-clock and RSS columns.
+    They are measurements of *this process*, not of the simulated
+    machine -- two runs of the same grid never agree on them -- so
+    any report persisted under the run store's byte-identical-resume
+    guarantee must render without them.
     """
+    conn_axis = (None,) if connections is None else tuple(connections)
+
+    def cell(n_cpus, size, mode, n_conn):
+        if n_conn is None:
+            return sweep.get((n_cpus, size, mode))
+        return sweep.get((n_cpus, size, mode, n_conn))
+
+    def row_label(n_cpus, n_conn):
+        return (str(n_cpus) if n_conn is None
+                else "%d x %d" % (n_cpus, n_conn))
+
     blocks = []
+    lead = "cpus" if connections is None else "cpus x flows"
     tput = TextTable(
-        ["cpus"] + ["%s %d" % (m, s) for s in sizes for m in modes],
+        [lead] + ["%s %d" % (m, s) for s in sizes for m in modes],
         title="Scale (%s, %d queues): throughput Mb/s"
         % (direction.upper(), n_queues),
     )
     cost = TextTable(
-        ["cpus"] + ["%s %d" % (m, s) for s in sizes for m in modes],
+        [lead] + ["%s %d" % (m, s) for s in sizes for m in modes],
         title="Scale (%s, %d queues): cost GHz/Gbps"
         % (direction.upper(), n_queues),
     )
     for n_cpus in cpus:
-        tput_row, cost_row = [str(n_cpus)], [str(n_cpus)]
-        for size in sizes:
-            for mode in modes:
-                r = sweep.get((n_cpus, size, mode))
-                tput_row.append(
-                    "FAIL" if r is None else "%.0f" % r.throughput_mbps
-                )
-                cost_row.append(
-                    "FAIL" if r is None else "%.2f" % r.cost_ghz_per_gbps
-                )
-        tput.add_row(*tput_row)
-        cost.add_row(*cost_row)
+        for n_conn in conn_axis:
+            label = row_label(n_cpus, n_conn)
+            tput_row, cost_row = [label], [label]
+            for size in sizes:
+                for mode in modes:
+                    r = cell(n_cpus, size, mode, n_conn)
+                    tput_row.append(
+                        "FAIL" if r is None else "%.0f" % r.throughput_mbps
+                    )
+                    cost_row.append(
+                        "FAIL" if r is None
+                        else "%.2f" % r.cost_ghz_per_gbps
+                    )
+            tput.add_row(*tput_row)
+            cost.add_row(*cost_row)
     blocks.append(tput.render())
     blocks.append(cost.render())
 
     reorder = TextTable(
-        ["cpus", "size", "mode", "reorder", "dupACK", "peer rexmit",
+        [lead, "size", "mode", "reorder", "dupACK", "peer rexmit",
          "fd retargets"],
         title="Scale (%s, %d queues): steering-induced reordering"
         % (direction.upper(), n_queues),
     )
     for n_cpus in cpus:
-        for size in sizes:
-            for mode in modes:
-                r = sweep.get((n_cpus, size, mode))
-                if r is None:
-                    reorder.add_row(str(n_cpus), str(size), mode,
-                                    "--", "--", "--", "--")
-                    continue
-                s = r["steering"]
-                reorder.add_row(
-                    str(n_cpus), str(size), mode,
-                    str(s["reorder_depth_peak"]),
-                    str(s["dup_acks_out"]),
-                    str(s["peer_retransmits"]),
-                    str(s["fd_retargets"]),
-                )
+        for n_conn in conn_axis:
+            for size in sizes:
+                for mode in modes:
+                    r = cell(n_cpus, size, mode, n_conn)
+                    label = row_label(n_cpus, n_conn)
+                    if r is None:
+                        reorder.add_row(label, str(size), mode,
+                                        "--", "--", "--", "--")
+                        continue
+                    s = r["steering"]
+                    reorder.add_row(
+                        label, str(size), mode,
+                        str(s["reorder_depth_peak"]),
+                        str(s["dup_acks_out"]),
+                        str(s["peer_retransmits"]),
+                        str(s["fd_retargets"]),
+                    )
     blocks.append(reorder.render())
+
+    columns = [lead, "size", "mode", "simulated"]
+    if live_resources:
+        columns += ["wall s", "peak RSS MB"]
+    resources = TextTable(
+        columns,
+        title="Scale (%s, %d queues): simulation resources per cell"
+        % (direction.upper(), n_queues),
+    )
+    for n_cpus in cpus:
+        for n_conn in conn_axis:
+            for size in sizes:
+                for mode in modes:
+                    r = cell(n_cpus, size, mode, n_conn)
+                    label = row_label(n_cpus, n_conn)
+                    if r is None:
+                        resources.add_row(label, str(size), mode, "--",
+                                          *(("--", "--")
+                                            if live_resources else ()))
+                        continue
+                    flows = r.payload_get("flows")
+                    row = [label, str(size), mode,
+                           "%d/%d" % (flows["n_simulated"],
+                                      flows["n_flows"])
+                           if flows else "exact"]
+                    if live_resources:
+                        wall = getattr(r, "wall_s", None)
+                        rss = getattr(r, "peak_rss_kb", None)
+                        row += [
+                            "--" if wall is None else "%.1f" % wall,
+                            "--" if rss is None
+                            else "%.0f" % (rss / 1024.0),
+                        ]
+                    resources.add_row(*row)
+    blocks.append(resources.render())
     return "\n\n".join(blocks)
 
 

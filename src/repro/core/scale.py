@@ -26,6 +26,10 @@ SCALE_SIZES = (4096, 16384, 65536)
 #: The two hardware steering modes under study.
 SCALE_MODES = ("rss", "flow-director")
 
+#: The flow-population axis: the paper-era handful up through the
+#: 100K-flow regime that flow-class aggregation makes tractable.
+SCALE_CONNECTIONS = (16, 1000, 10000, 100000)
+
 
 def run_scale_sweep(
     direction="rx",
@@ -34,6 +38,8 @@ def run_scale_sweep(
     modes=SCALE_MODES,
     n_queues=8,
     n_connections=16,
+    connections=None,
+    aggregation="auto",
     cache=None,
     progress=None,
     jobs=None,
@@ -49,12 +55,42 @@ def run_scale_sweep(
     ``runner.report`` afterwards), and cells that failed despite
     retries map to ``None``.
 
-    Returns ``{(n_cpus, size, mode): ExperimentResult}``.
+    ``connections`` adds the flow-population axis: a sequence of flow
+    counts (e.g. :data:`SCALE_CONNECTIONS`) extends the grid to
+    (n_cpus x size x mode x n_conn) and the returned keys to
+    4-tuples.  ``None`` keeps the single-population study --
+    ``n_connections`` flows, 3-tuple keys -- unchanged.
+    ``aggregation`` is handed to every cell's config; the default
+    ``"auto"`` switches large populations to flow-class aggregation
+    so the 100K-flow cells stay tractable.
+
+    Returns ``{(n_cpus, size, mode): ExperimentResult}`` (or the
+    4-tuple-keyed dict when ``connections`` is given).
     """
-    cells = dedupe_cells(
-        (n_cpus, size, mode)
-        for n_cpus in cpus for size in sizes for mode in modes
+    conn_axis = (
+        (n_connections,) if connections is None else tuple(connections)
     )
+    for n_conn in conn_axis:
+        if n_conn < n_queues:
+            raise ValueError(
+                "n_connections=%d is below n_queues=%d: every hardware "
+                "queue needs at least one flow (and queue-sharing, the "
+                "regime under study, needs more) -- raise the "
+                "connection count or drop --queues" % (n_conn, n_queues)
+            )
+    if connections is None:
+        cells = dedupe_cells(
+            (n_cpus, size, mode)
+            for n_cpus in cpus for size in sizes for mode in modes
+        )
+        expanded = [cell + (n_connections,) for cell in cells]
+    else:
+        cells = dedupe_cells(
+            (n_cpus, size, mode, n_conn)
+            for n_cpus in cpus for size in sizes for mode in modes
+            for n_conn in conn_axis
+        )
+        expanded = cells
     configs = [
         ExperimentConfig(
             direction=direction,
@@ -62,10 +98,11 @@ def run_scale_sweep(
             affinity=mode,
             n_cpus=n_cpus,
             n_queues=n_queues,
-            n_connections=n_connections,
+            n_connections=n_conn,
+            aggregation=aggregation,
             **config_kwargs
         )
-        for n_cpus, size, mode in cells
+        for n_cpus, size, mode, n_conn in expanded
     ]
     if runner is not None:
         flat = runner.run(configs)
@@ -81,7 +118,7 @@ def run_scale_sweep(
     return dict(zip(cells, flat))
 
 
-def scaling_efficiency(sweep, sizes, cpus, mode):
+def scaling_efficiency(sweep, sizes, cpus, mode, n_conn=None):
     """Per-size speedup-per-CPU relative to the smallest machine.
 
     ``{size: [throughput(n)/throughput(min(cpus)) / (n/min(cpus))]}``
@@ -90,14 +127,21 @@ def scaling_efficiency(sweep, sizes, cpus, mode):
     The baseline is ``min(cpus)``, not ``cpus[0]``: an unsorted
     ``--cpus 16 2 4`` must still normalize against the smallest
     machine, not whichever one was listed first.
+
+    ``n_conn`` selects one population from a connections-axis sweep
+    (4-tuple keys); ``None`` reads the classic 3-tuple keys.
     """
+    def cell(n, size):
+        key = (n, size, mode) if n_conn is None else (n, size, mode, n_conn)
+        return sweep.get(key)
+
     out = {}
     base_cpus = min(cpus)
     for size in sizes:
-        base = sweep.get((base_cpus, size, mode))
+        base = cell(base_cpus, size)
         row = []
         for n in cpus:
-            r = sweep.get((n, size, mode))
+            r = cell(n, size)
             if r is None or base is None or base.throughput_gbps <= 0:
                 row.append(None)
             else:

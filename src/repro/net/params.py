@@ -10,6 +10,9 @@ at ~1.9 GHz/Gbps and CPI ~5, a 64KB transmit costs ~1e6 cycles /
 
 from repro.sim.units import CYCLES_PER_SECOND_2GHZ
 
+#: Interned NetParams instances, keyed by their keyword signature.
+_INTERNED_PARAMS = {}
+
 
 class NetParams:
     """Stack-wide constants (sizes, windows, wire, coalescing)."""
@@ -72,6 +75,36 @@ class NetParams:
             raise ValueError("cost scales must be >= 1.0")
         self.copy_cost_scale = copy_cost_scale
         self.lock_hold_scale = lock_hold_scale
+        # Immutable from here on: interned instances (see ``interned``)
+        # are shared across experiments and flow-class representatives,
+        # so a mutation in one run would silently leak into the next.
+        self._frozen = True
+
+    def __setattr__(self, name, value):
+        if getattr(self, "_frozen", False):
+            raise AttributeError(
+                "NetParams is immutable after construction; build a new "
+                "instance instead of assigning %r" % name
+            )
+        object.__setattr__(self, name, value)
+
+    @classmethod
+    def interned(cls, **kwargs):
+        """A shared immutable instance for this parameter signature.
+
+        The flyweight half of the scale story: every experiment (and
+        every flow-class representative within it) with the same
+        network constants references one frozen object instead of
+        carrying its own copy.  Keyed by the explicit keyword set, so
+        defaulted and spelled-out-as-default signatures intern
+        separately -- harmless, since both are immutable.
+        """
+        key = tuple(sorted(kwargs.items()))
+        inst = _INTERNED_PARAMS.get(key)
+        if inst is None:
+            inst = cls(**kwargs)
+            _INTERNED_PARAMS[key] = inst
+        return inst
 
     @property
     def cycles_per_wire_byte(self):

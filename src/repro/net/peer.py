@@ -18,6 +18,7 @@ them as zero-cost protocol engines:
 """
 
 from repro.net.packet import ack_packet, data_packet
+from repro.net.sock import BUFFER_SCALE_CAP
 
 #: Sink flush delay: a trailing un-ACKed segment is acknowledged after
 #: this long (cycles at 2 GHz ~ 100 us), mirroring delayed-ACK.
@@ -60,6 +61,12 @@ class Peer:
         self.params = params
         self.mode = mode
 
+        #: Window this peer advertises back to the SUT (sink mode) and
+        #: assumes until the SUT's first ACK (source mode).  Normally
+        #: one flow's window; :meth:`scale_window` sizes it for a
+        #: flow-class representative carrying ``weight`` flows.
+        self.adv_window = params.max_window
+
         # Sink state.
         self.rcv_nxt = 0
         self._unacked_segments = 0
@@ -74,13 +81,14 @@ class Peer:
         # Source state.
         self.snd_nxt = 0
         self.snd_una = 0
-        self.peer_rcv_window = params.max_window
+        self.peer_rcv_window = self.adv_window
         self._pump_scheduled = False
         self.total_sent = 0
         #: Offered-load pacing (repro.diagnose saturation search):
         #: cycles per payload byte at the paced rate, or ``None`` for
         #: the default window-limited (closed-loop) firehose.
         self._pace_cpb = None
+        self._pace_phase_cycles = 0
         self._pace_t0 = None
         self._pace_sent = 0
         self._pace_event = None
@@ -191,14 +199,24 @@ class Peer:
             self._flush_event = None
         self.acks_sent += 1
         self.nic.deliver_frame(
-            ack_packet(self.conn_id, self.rcv_nxt, self.params.max_window)
+            ack_packet(self.conn_id, self.rcv_nxt, self.adv_window)
         )
 
     # ------------------------------------------------------------------
     # Source: stream data into the SUT.
     # ------------------------------------------------------------------
 
-    def set_pacing(self, gbps):
+    def scale_window(self, weight):
+        """Size this peer as the remote end of a flow-class
+        representative: the aggregate window of ``weight`` clients
+        (capped like :meth:`Sock.scale_buffers`)."""
+        self.adv_window = self.params.max_window * min(
+            weight, BUFFER_SCALE_CAP
+        )
+        if self.peer_rcv_window == self.params.max_window:
+            self.peer_rcv_window = self.adv_window
+
+    def set_pacing(self, gbps, phase=0.0):
         """Cap this source's offered load at ``gbps`` (payload rate).
 
         The pump then releases segments on a cycle-accurate token
@@ -209,13 +227,25 @@ class Peer:
         receiver can absorb it.  Retransmissions bypass pacing (they
         replace, not add, offered bytes).  Call before
         :meth:`start_stream`; ``None`` restores closed-loop behavior.
+
+        ``phase`` (fraction of one release interval, ``[0, 1)``)
+        offsets this source's schedule.  A population of paced flows
+        passes ``phase=i/n``: independent real flows start at random
+        phases, so the aggregate arrival stream at a queue is evenly
+        interleaved -- not the lockstep thundering herd that a shared
+        zero phase would synthesize.
         """
         if gbps is None:
             self._pace_cpb = None
             return
         if gbps <= 0:
             raise ValueError("pacing rate must be positive")
+        if not 0.0 <= phase < 1.0:
+            raise ValueError("pacing phase must be in [0, 1)")
         self._pace_cpb = self.params.hz / (gbps * 1e9 / 8.0)
+        self._pace_phase_cycles = int(
+            phase * self.params.mss * self._pace_cpb
+        )
 
     def _pace_fire(self):
         self._pace_event = None
@@ -259,7 +289,14 @@ class Peer:
         cpb = self._pace_cpb
         while self.snd_nxt + mss <= self.snd_una + self.peer_rcv_window:
             if cpb is not None:
-                due = self._pace_t0 + int((self._pace_sent + mss) * cpb)
+                # Segment k is released at phase + k intervals; the
+                # first goes out at the phase offset itself, so a
+                # staggered population streams at its aggregate rate
+                # from t0 (not after one full per-flow interval --
+                # which for a 100K-flow population would be longer
+                # than the whole simulation).
+                due = (self._pace_t0 + self._pace_phase_cycles
+                       + int(self._pace_sent * cpb))
                 now = self.engine.now
                 if due > now:
                     if self._pace_event is None:

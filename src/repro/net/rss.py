@@ -47,6 +47,12 @@ INDIRECTION_ENTRIES = 128
 #: so short simulated windows still exercise retargeting).
 FD_SAMPLE_RATE = 8
 
+#: Exact-match filter entries the Flow Director table holds (ixgbe's
+#: perfect-filter table is 8K entries at the default FDIR allocation).
+#: With more active flows than entries the hardware evicts -- a
+#: capacity effect that only appears at scale-study flow counts.
+FD_TABLE_CAPACITY = 8192
+
 
 def toeplitz_hash(data, key=TOEPLITZ_KEY):
     """The Toeplitz hash over ``data`` (bytes), per the RSS contract.
@@ -63,6 +69,57 @@ def toeplitz_hash(data, key=TOEPLITZ_KEY):
         if data[i // 8] & (0x80 >> (i % 8)):
             result ^= (key_int >> (key_bits - 32 - i)) & 0xFFFFFFFF
     return result
+
+
+#: Lazily-built lookup tables for :func:`toeplitz_hash_fast`, keyed by
+#: ``(key, input_length)``: one 256-entry XOR table per byte position.
+_FAST_TABLES = {}
+
+
+def _toeplitz_tables(key, n_bytes):
+    tables = _FAST_TABLES.get((key, n_bytes))
+    if tables is not None:
+        return tables
+    key_int = int.from_bytes(key, "big")
+    key_bits = len(key) * 8
+    if n_bytes * 8 > key_bits - 32:
+        raise ValueError("input too long for a %d-bit key" % key_bits)
+    windows = [
+        (key_int >> (key_bits - 32 - i)) & 0xFFFFFFFF
+        for i in range(n_bytes * 8)
+    ]
+    tables = []
+    for p in range(n_bytes):
+        table = [0] * 256
+        for v in range(256):
+            h = 0
+            for j in range(8):
+                if v & (0x80 >> j):
+                    h ^= windows[8 * p + j]
+            table[v] = h
+        tables.append(tuple(table))
+    tables = tuple(tables)
+    _FAST_TABLES[(key, n_bytes)] = tables
+    return tables
+
+
+def toeplitz_hash_fast(data, key=TOEPLITZ_KEY):
+    """Table-driven Toeplitz: identical output, one lookup per byte.
+
+    The bitwise reference above costs ~100 Python operations per input
+    byte; classifying a 100K-flow population with it costs seconds.
+    Because the hash is linear over GF(2), the contribution of each
+    input byte is independent of every other byte, so a per-position
+    256-entry XOR table (built once per ``(key, length)`` and cached)
+    collapses the hash to ``len(data)`` lookups.  Equality with
+    :func:`toeplitz_hash` is pinned by test on the Microsoft RSS
+    verification vectors and on random inputs.
+    """
+    tables = _toeplitz_tables(key, len(data))
+    h = 0
+    for p, byte in enumerate(data):
+        h ^= tables[p][byte]
+    return h
 
 
 def flow_tuple_bytes(conn_id):
@@ -117,12 +174,14 @@ class FlowDirector:
     flow -- the measurable effect this model exists to surface.
     """
 
-    def __init__(self, n_queues):
+    def __init__(self, n_queues, capacity=FD_TABLE_CAPACITY):
         self.n_queues = n_queues
+        self.capacity = capacity
         self.filters = {}
         self._tx_seen = {}
         self.samples = 0
         self.retargets = 0
+        self.evictions = 0
 
     def match(self, conn_id):
         """The filter's queue for ``conn_id``, or ``None`` on a miss."""
@@ -141,6 +200,13 @@ class FlowDirector:
         queue = cpu_index % self.n_queues
         if self.filters.get(conn_id) == queue:
             return None
+        if conn_id not in self.filters and len(self.filters) >= self.capacity:
+            # Table full: evict the oldest filter (FIFO -- dict
+            # preserves insertion order).  The evicted flow falls back
+            # to its static RSS queue, exactly the capacity behaviour
+            # Wu et al. flag as the onset of large-scale reordering.
+            self.filters.pop(next(iter(self.filters)))
+            self.evictions += 1
         self.filters[conn_id] = queue
         self.retargets += 1
         return queue
@@ -148,6 +214,7 @@ class FlowDirector:
     def reset_stats(self):
         self.samples = 0
         self.retargets = 0
+        self.evictions = 0
 
 
 class NicSteering:
@@ -170,7 +237,9 @@ class NicSteering:
     def hash_for(self, conn_id):
         cached = self._hash_cache.get(conn_id)
         if cached is None:
-            cached = toeplitz_hash(flow_tuple_bytes(conn_id))
+            # Table-driven variant of the reference hash: pinned
+            # bit-identical by test, ~10x cheaper per classification.
+            cached = toeplitz_hash_fast(flow_tuple_bytes(conn_id))
             self._hash_cache[conn_id] = cached
         return cached
 

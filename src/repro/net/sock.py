@@ -21,6 +21,17 @@ TCB_BYTES = 1024
 #: similarly sheds ofo segments under rmem pressure).
 OOO_QUEUE_MAX = 128
 
+#: Cap on flow-class buffer/window scaling.  A representative's
+#: aggregate window grows with its class weight so aggregation does
+#: not *add* a window limit the exact system lacks in the paced
+#: regime -- but the cap keeps a closed-loop representative's
+#: window-open burst (window / mss segments, fired at t0) inside the
+#: 256-descriptor RX ring: four flows' worth is ~181 segments, while
+#: scaling further floods the ring, and the mass drop + retransmit
+#: stall that follows models nothing the exact system does in its
+#: steady state.
+BUFFER_SCALE_CAP = 4
+
 
 class Sock:
     """One established TCP connection endpoint on the SUT."""
@@ -29,6 +40,14 @@ class Sock:
         self.conn_id = conn_id
         self.name = name
         self.params = params
+        #: Per-socket buffer/window limits.  Normally the shared
+        #: NetParams values; a flow-class representative (which carries
+        #: the aggregate traffic of ``weight`` statistically-identical
+        #: flows) scales them by its class weight -- the aggregate
+        #: rmem/wmem/window across ``weight`` real sockets.
+        self.sndbuf = params.sndbuf
+        self.rcvbuf = params.rcvbuf
+        self.max_window = params.max_window
         self.obj = machine.space.alloc("sock:%s" % name, SOCK_SIZE)
         self.lock = machine.new_lock("sk_lock:%s" % name)
         self.snd_wq = WaitQueue("snd:%s" % name)
@@ -53,7 +72,7 @@ class Sock:
         # ----- transmit state -----
         self.snd_una = 0          # oldest unacknowledged sequence
         self.snd_nxt = 0          # next sequence to send
-        self.snd_wnd = params.max_window
+        self.snd_wnd = self.max_window
         #: Send queue: unacked-but-sent skbs followed by unsent ones;
         #: ``send_head`` indexes the first unsent skb.
         self.send_queue = []
@@ -81,7 +100,7 @@ class Sock:
         #: of reordering (always zero on a loss-free single-queue run).
         self.dup_acks_out = 0
         self.rmem_queued = 0
-        self.last_window_advertised = params.max_window
+        self.last_window_advertised = self.max_window
         self.segs_since_ack = 0
         self.delack_pending = False
 
@@ -95,6 +114,19 @@ class Sock:
         self.acks_out = 0
         self.acks_in = 0
         self.bytes_queued_total = 0
+
+    def scale_buffers(self, weight):
+        """Size this socket as a flow-class representative for
+        ``weight`` flows: the aggregate send/receive buffer and window
+        of that many single-flow sockets, capped at
+        :data:`BUFFER_SCALE_CAP` flows' worth.  ``weight == 1`` is
+        exactly the shared-params sizing."""
+        scale = min(weight, BUFFER_SCALE_CAP)
+        self.sndbuf = self.params.sndbuf * scale
+        self.rcvbuf = self.params.rcvbuf * scale
+        self.max_window = self.params.max_window * scale
+        self.snd_wnd = self.max_window
+        self.last_window_advertised = self.max_window
 
     # ------------------------------------------------------------------
     # Memory ranges for cache modelling.
@@ -123,7 +155,7 @@ class Sock:
         return self.snd_nxt - self.snd_una
 
     def sndbuf_free(self):
-        return self.params.sndbuf - self.wmem_queued
+        return self.sndbuf - self.wmem_queued
 
     def can_queue_skb(self):
         """Room to account one more skb against the send buffer?"""
@@ -161,7 +193,7 @@ class Sock:
     # ------------------------------------------------------------------
 
     def rcvbuf_free(self):
-        return self.params.rcvbuf - self.rmem_queued
+        return self.rcvbuf - self.rmem_queued
 
     def advertised_window(self):
         """Classic un-scaled receive window from free buffer space.
@@ -172,7 +204,7 @@ class Sock:
         segments (truesize/payload ~ 1.58) within rcvbuf.
         """
         usable = self.rcvbuf_free() * 5 // 8
-        return max(0, min(self.params.max_window, usable))
+        return max(0, min(self.max_window, usable))
 
     def receive_data(self, skb):
         """Queue an in-order data skb (state only; charging is the
@@ -234,7 +266,7 @@ class Sock:
         self.rcv_nxt = 0
         self.rmem_queued = 0
         self.segs_since_ack = 0
-        self.last_window_advertised = self.params.max_window
+        self.last_window_advertised = self.max_window
         self.established = False
         self.fin_received = False
         self.episodes += 1

@@ -34,7 +34,20 @@ QUEUE_VECTOR_BASE = 0x40
 
 
 class Connection:
-    """One ttcp connection: socket + NIC + remote peer + user buffer."""
+    """One ttcp connection: socket + NIC + remote peer + user buffer.
+
+    Slotted: the scale study holds one of these per *flow class*
+    rather than per flow, but even so the mutable per-connection
+    record stays compact and typo-proof (no stray dict growth from
+    the charge path).
+    """
+
+    __slots__ = (
+        "conn_id", "sock", "nic", "peer", "user_buffer", "file_obj",
+        "write_seq", "bytes_acked", "rexmit_armed", "rto_fires",
+        "fast_retransmits", "retransmitted_segments", "rexmit_timer",
+        "flow_class",
+    )
 
     def __init__(self, conn_id, sock, nic, peer, user_buffer, file_obj):
         self.conn_id = conn_id
@@ -51,6 +64,9 @@ class Connection:
         self.fast_retransmits = 0
         self.retransmitted_segments = 0
         self.rexmit_timer = None
+        #: The FlowClass this connection represents (aggregated stacks
+        #: only); None when the connection is a single exact flow.
+        self.flow_class = None
 
     def reset_stats(self):
         self.bytes_acked = 0
@@ -70,7 +86,7 @@ class NetworkStack:
 
     def __init__(self, machine, params=None, n_connections=8, mode="tx",
                  message_size=65536, vectors=PAPER_NIC_VECTORS,
-                 n_queues=1):
+                 n_queues=1, flow_classes=None):
         """
         Parameters
         ----------
@@ -92,6 +108,15 @@ class NetworkStack:
             shared multi-queue NIC with that many hardware RX queues
             (MSI-X vector per queue) steered by RSS/Flow Director; all
             connections ride the one port, as on modern hardware.
+        flow_classes:
+            Optional flow-class aggregation plan (multi-queue only): a
+            list of :class:`~repro.net.flowclass.FlowClass` whose
+            weights sum to ``n_connections``.  The stack then builds
+            one *representative* connection per class (carrying the
+            class's queue, vector, ring and TX-lock residency) instead
+            of one per flow; ``n_connections`` remains the modelled
+            flow count.  ``None`` (default) simulates every flow
+            exactly.
         """
         if mode not in ("tx", "rx", "iscsi", "web"):
             raise ValueError(
@@ -104,11 +129,30 @@ class NetworkStack:
                 "%d connections but only %d IRQ vectors"
                 % (n_connections, len(vectors))
             )
+        if flow_classes is not None:
+            if n_queues == 1:
+                raise ValueError(
+                    "flow-class aggregation requires a multi-queue stack "
+                    "(n_queues > 1)"
+                )
+            total = sum(fc.weight for fc in flow_classes)
+            if total != n_connections:
+                raise ValueError(
+                    "flow-class weights sum to %d but n_connections is %d"
+                    % (total, n_connections)
+                )
         self.machine = machine
         self.params = params or NetParams()
         self.mode = mode
         self.message_size = message_size
         self.n_queues = n_queues
+        #: Total modelled flows (>= len(self.connections) when
+        #: aggregating) and the aggregation plan, if any.
+        self.n_flows = n_connections
+        self.flow_classes = flow_classes
+        self.aggregated = flow_classes is not None and any(
+            fc.weight > 1 for fc in flow_classes
+        )
         #: Set by FaultInjector.attach(); None in fault-free runs.
         self.fault_injector = None
         # Diagnosis lock-hold knob: extra cycles spent inside every
@@ -155,15 +199,41 @@ class NetworkStack:
             nic.peer = PeerMux()
             machine.add_resettable(nic)
             self.nics.append(nic)
-            for i in range(n_connections):
-                conn = self._make_connection(i, nic, shared=True)
-                nic.peer.register(i, conn.peer)
+            if flow_classes is None:
+                rep_ids = range(n_connections)
+            else:
+                # One representative per class, ascending conn id --
+                # for an all-singleton plan this loop is operation-for-
+                # operation the exact loop above, which is what makes
+                # singleton aggregation bit-identical by construction.
+                rep_ids = [fc.rep_conn_id for fc in flow_classes]
+            for i, rep_id in enumerate(rep_ids):
+                conn = self._make_connection(rep_id, nic, shared=True)
+                if flow_classes is not None:
+                    conn.flow_class = flow_classes[i]
+                    # The representative carries the class's aggregate
+                    # traffic, so it gets the aggregate buffer/window
+                    # resources of ``weight`` single-flow endpoints
+                    # (identity when weight == 1).
+                    if flow_classes[i].weight > 1:
+                        conn.sock.scale_buffers(flow_classes[i].weight)
+                        conn.peer.scale_window(flow_classes[i].weight)
+                nic.peer.register(rep_id, conn.peer)
                 # Queue-level reordering must be recoverable: sources
                 # need dup-ACK fast retransmit exactly as real TCP
                 # senders facing a Flow Director NIC do (Wu et al.).
                 conn.peer.enable_loss_recovery()
                 self.connections.append(conn)
+        #: conn_id -> Connection.  With aggregation the representative
+        #: ids are sparse, so positional indexing into
+        #: ``self.connections`` is no longer valid anywhere.
+        self._conn_by_id = {c.conn_id: c for c in self.connections}
         self._prime_rx_rings()
+
+    def conn_for(self, conn_id):
+        """The connection (exact flow or class representative) with
+        this on-wire id."""
+        return self._conn_by_id[conn_id]
 
     # ------------------------------------------------------------------
     # Construction helpers.

@@ -44,7 +44,7 @@ def net_rx_action(ctx, stack):
     while softnet.backlog and budget > 0:
         budget -= 1
         skb = softnet.backlog.pop(0)
-        conn = stack.connections[skb.pkt.conn_id]
+        conn = stack.conn_for(skb.pkt.conn_id)
         sock = conn.sock
         # The bottom half timestamps every arriving packet (the bulk of
         # the paper's RX Timers bin is this do_gettimeofday call).
@@ -215,7 +215,7 @@ def tcp_ack(ctx, stack, conn, skb):
         stack.arm_rexmit_timer(ctx, conn)
     # Wake a writer blocked on buffer space (sk_stream_write_space).
     if freed and sock.snd_wq.waiters and (
-        sock.sndbuf_free() >= stack.params.sndbuf // 3
+        sock.sndbuf_free() >= sock.sndbuf // 3
     ):
         ctx.wake_up(sock.snd_wq)
     # An opened window may let queued segments go out right here, in

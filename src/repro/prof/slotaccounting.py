@@ -243,3 +243,42 @@ class ArrayAccounting:
 
     def cpus(self):
         return sorted({cpu for (cpu, _), _ in self.rows()})
+
+
+class ClassColumns:
+    """Fixed-size per-class accounting columns over one flat array.
+
+    The scale study's aggregated workloads account bytes/messages per
+    flow class.  Unlike the slot-registered arrays above, the class
+    count is known exactly at stack-build time and never grows, so the
+    columns are allocated once at final size: no growers, no
+    generation bumps, and therefore no buffer re-binding churn in the
+    compiled engine for code that holds a view.  Each named field is a
+    contiguous ``array('q')`` segment exposed as a writable
+    ``memoryview`` (buffer-protocol compatible, bindable by the C
+    path), laid out field-major: ``[f0 c0..cN-1, f1 c0..cN-1, ...]``.
+    """
+
+    __slots__ = ("n_classes", "fields", "_data", "_views")
+
+    def __init__(self, n_classes, fields):
+        if n_classes < 1:
+            raise ValueError("n_classes must be >= 1, got %d" % n_classes)
+        self.n_classes = n_classes
+        self.fields = tuple(fields)
+        self._data = array("q", bytes(8 * n_classes * len(self.fields)))
+        view = memoryview(self._data)
+        self._views = {
+            name: view[i * n_classes:(i + 1) * n_classes]
+            for i, name in enumerate(self.fields)
+        }
+
+    def column(self, field):
+        """The writable fixed-size view for one field."""
+        return self._views[field]
+
+    def zero(self):
+        """Reset every column in place (views stay valid -- that is
+        the point: measurement-window resets must not re-bind)."""
+        for i in range(len(self._data)):
+            self._data[i] = 0

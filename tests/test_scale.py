@@ -117,3 +117,27 @@ class TestCli:
         rc = main(["scale", "--modes", "bogus"])
         assert rc == 2
         assert "unknown steering mode" in capsys.readouterr().err
+
+    def test_scale_rejects_connections_below_queues(self, capsys):
+        rc = main([
+            "scale", "--queues", "8", "--connections", "4",
+        ])
+        assert rc == 2
+        assert "below --queues" in capsys.readouterr().err
+
+    def test_scale_connections_axis_smoke(self, capsys):
+        rc = main([
+            "scale", "--cpus", "2", "--sizes", "16384",
+            "--modes", "rss", "--queues", "4",
+            "--connections", "8", "1000",
+            "--warmup-ms", "1", "--measure-ms", "2", "--seed", "7",
+            "--jobs", "1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cpus x flows" in out
+        assert "2 x 1000" in out
+        assert "simulation resources per cell" in out
+        # The large population ran class-aggregated (auto).
+        assert "4/1000" in out
+        assert "1000 flows" in out  # per-population efficiency lines

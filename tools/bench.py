@@ -85,14 +85,37 @@ SIZES = (1024, 16384, 65536)
 MQ_MODES = ("rss", "flow-director")
 MQ_SIZES = (16384,)
 
+#: The flow-class aggregation hot path rides along at one cell: a
+#: 1000-flow RSS population collapsed to 4 class representatives.
+#: Its cost profile (flow partitioning, class-indexed columns,
+#: weight-scaled buffers) is distinct from both matrices above, so a
+#: regression there would otherwise be invisible to the gate.
+SCALE_CELLS = (("rss-1k", 16384),)
+
 #: ``--quick`` corners: the cheapest and the most expensive cell of
-#: the single-NIC matrix plus both steering modes -- enough to catch
-#: a hot-path regression in CI without paying for the full matrix.
+#: the single-NIC matrix plus both steering modes and the aggregated
+#: 1K-flow cell -- enough to catch a hot-path regression in CI
+#: without paying for the full matrix.
 QUICK_CELLS = (("none", 1024), ("full", 65536),
-               ("rss", 16384), ("flow-director", 16384))
+               ("rss", 16384), ("flow-director", 16384),
+               ("rss-1k", 16384))
 
 
 def _cell_config(mode, size, direction, measure_ms):
+    if mode == "rss-1k":
+        # 1000 flows, class-aggregated: the scale-study hot path.
+        return ExperimentConfig(
+            direction=direction,
+            message_size=size,
+            affinity="rss",
+            n_connections=1000,
+            n_cpus=4,
+            n_queues=4,
+            aggregation="class",
+            warmup_ms=2,
+            measure_ms=measure_ms,
+            seed=7,
+        )
     if mode in MQ_MODES:
         # Steering cells run the shared 4-queue NIC with more flows
         # than queues (the contended regime the subsystem models).
@@ -192,6 +215,10 @@ def bench_cell(mode, size, direction, measure_ms, repeats):
         "min_s": round(times[0], 4),
         "events_fired": events,
         "events_per_s": round(events / median) if median else 0,
+        # Process peak RSS after the cell (KB; monotone across cells --
+        # a memory regression shows up as a jump at the cell that
+        # caused it).
+        "peak_rss_kb": getattr(result, "peak_rss_kb", None),
     }
 
 
@@ -199,6 +226,7 @@ def run_matrix(args):
     cells = QUICK_CELLS if args.quick else (
         [(m, s) for m in MODES for s in SIZES]
         + [(m, s) for m in MQ_MODES for s in MQ_SIZES]
+        + list(SCALE_CELLS)
     )
     calib = calibrate()
     print("calibration kernel: %.4fs" % calib, file=sys.stderr)
