@@ -24,6 +24,14 @@ Examples::
     # 10GbE-class NIC across machine sizes.
     repro-affinity scale --modes rss,flow-director --queues 8
 
+    # Modern-NIC offload study: host stack vs TOE, per-bin cycles/KB
+    # at a matched offered load.
+    repro-affinity offload --modes full,toe
+
+    # ITR coalescing sweep: interrupt-timer x throttle-variant under
+    # the contended Flow Director configuration.
+    repro-affinity scale --coalesce-sweep
+
     # Automated bottleneck diagnosis: saturate, perturb each modeled
     # cost, rank by throughput lost (writes JSON into results/).
     repro-affinity diagnose --direction rx --modes none,full
@@ -53,6 +61,7 @@ from repro.core.metrics import run_size_sweep
 from repro.core.modes import AFFINITY_MODES, EXTENDED_MODES
 from repro.core.parallel import SweepRunner, default_jobs
 from repro.core.report import (
+    render_coalesce_table,
     render_figure3,
     render_figure4,
     render_scale_table,
@@ -61,9 +70,12 @@ from repro.core.report import (
     render_trace_crosscheck,
 )
 from repro.core.scale import (
+    COALESCE_GRID,
+    COALESCE_VARIANTS,
     SCALE_CPUS,
     SCALE_MODES,
     SCALE_SIZES,
+    run_coalesce_sweep,
     run_scale_sweep,
     scaling_efficiency,
 )
@@ -265,6 +277,16 @@ def cmd_compare(args):
 def cmd_sweep(args):
     cache = None if args.no_cache else DEFAULT_CACHE
     sizes = tuple(args.sizes)
+    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    for mode in modes:
+        if mode not in EXTENDED_MODES:
+            print("[repro] unknown affinity mode %r (choose from %s)"
+                  % (mode, ", ".join(EXTENDED_MODES)), file=sys.stderr)
+            return 2
+        if mode == "flow-director" and args.queues <= 1:
+            print("[repro] mode flow-director needs --queues > 1",
+                  file=sys.stderr)
+            return 2
 
     def body(store):
         runner = SweepRunner(
@@ -279,18 +301,20 @@ def cmd_sweep(args):
         sweep = run_size_sweep(
             args.direction,
             sizes=sizes,
+            modes=modes,
             runner=runner,
             faults=args.faults,
             n_connections=args.connections,
             n_cpus=args.cpus,
+            n_queues=args.queues,
             warmup_ms=args.warmup_ms,
             measure_ms=args.measure_ms,
             seed=args.seed,
         )
         report = (
-            render_figure3(sweep, sizes, AFFINITY_MODES, args.direction)
+            render_figure3(sweep, sizes, modes, args.direction)
             + "\n\n"
-            + render_figure4(sweep, sizes, AFFINITY_MODES, args.direction)
+            + render_figure4(sweep, sizes, modes, args.direction)
             + "\n"
         )
         print(report, end="")
@@ -309,6 +333,8 @@ def cmd_scale(args):
     cache = None if args.no_cache else DEFAULT_CACHE
     cpus = tuple(args.cpus_list)
     sizes = tuple(args.sizes)
+    if args.coalesce_sweep:
+        return _cmd_coalesce(args, cache)
     modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
     for mode in modes:
         if mode not in SCALE_MODES:
@@ -386,6 +412,99 @@ def cmd_scale(args):
         return 0
 
     return _run_study(args, "scale", body)
+
+
+def _cmd_coalesce(args, cache):
+    """The ``scale --coalesce-sweep`` axis: ITR timer x throttle
+    variant under the contended Flow Director configuration."""
+    grid = tuple(args.coalesce_us)
+    variants = tuple(
+        v.strip() for v in args.coalesce_variants.split(",") if v.strip()
+    )
+    for variant in variants:
+        if variant not in COALESCE_VARIANTS:
+            print("[repro] unknown coalesce variant %r (choose from %s)"
+                  % (variant, ", ".join(COALESCE_VARIANTS)),
+                  file=sys.stderr)
+            return 2
+    if args.queues <= 1:
+        print("[repro] --coalesce-sweep studies the Flow Director "
+              "retarget race; it needs --queues > 1", file=sys.stderr)
+        return 2
+    # The sweep runs one cell shape: the paper's middle size on the
+    # largest machine requested, unless --sizes names exactly one.
+    size = args.sizes[0] if len(args.sizes) == 1 else 16384
+    n_cpus = max(args.cpus_list)
+
+    def body(store):
+        progress = lambda msg: print("[repro] %s" % msg, file=sys.stderr)
+        sweep = run_coalesce_sweep(
+            direction=args.direction,
+            message_size=size,
+            grid=grid,
+            variants=variants,
+            n_cpus=n_cpus,
+            n_queues=args.queues,
+            n_connections=args.connections[0],
+            warmup_ms=args.warmup_ms,
+            measure_ms=args.measure_ms,
+            seed=args.seed,
+            cache=cache,
+            progress=progress,
+            journal=store,
+        )
+        report = render_coalesce_table(
+            sweep, grid, variants, args.direction, args.queues
+        ) + "\n"
+        print(report, end="")
+        if store is not None:
+            store.write_artifact("report.txt", report)
+        return 0
+
+    return _run_study(args, "coalesce", body)
+
+
+def cmd_offload(args):
+    from repro.core.offload import run_offload_study
+    from repro.core.report import render_offload_table
+
+    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    for mode in modes:
+        if mode not in EXTENDED_MODES:
+            print("[repro] unknown affinity mode %r (choose from %s)"
+                  % (mode, ", ".join(EXTENDED_MODES)), file=sys.stderr)
+            return 2
+    if len(modes) < 2:
+        print("[repro] --modes needs at least a baseline and a "
+              "comparison mode", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else DEFAULT_CACHE
+
+    def body(store):
+        study = run_offload_study(
+            modes=modes,
+            directions=tuple(args.directions),
+            message_size=args.size,
+            offered_gbps=args.offered_gbps,
+            n_connections=args.connections,
+            n_cpus=args.cpus,
+            warmup_ms=args.warmup_ms,
+            measure_ms=args.measure_ms,
+            seed=args.seed,
+            cache=cache,
+            progress=lambda msg: print("[repro] %s" % msg,
+                                       file=sys.stderr),
+            journal=store,
+        )
+        report = render_offload_table(
+            study, modes, directions=tuple(args.directions)
+        ) + "\n"
+        print(report, end="")
+        if store is not None:
+            store.write_artifact("report.txt", report)
+        return 0
+
+    return _run_study(args, "offload", body)
 
 
 def cmd_diagnose(args):
@@ -592,6 +711,12 @@ def build_parser():
     p_sweep.add_argument("--sizes", type=int, nargs="+",
                          default=[128, 1024, 8192, 65536])
     p_sweep.add_argument(
+        "--modes", default=",".join(AFFINITY_MODES),
+        help="comma-separated affinity modes (default the paper's "
+             "four: %s; any of %s -- 'toe' adds the transport-offload "
+             "column, flow-director needs --queues > 1)"
+             % (",".join(AFFINITY_MODES), ", ".join(EXTENDED_MODES)))
+    p_sweep.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for the sweep (1 = serial; 0 = one per "
              "CPU / $REPRO_JOBS)")
@@ -652,8 +777,53 @@ def build_parser():
     p_scale.add_argument(
         "--retries", type=int, default=1,
         help="same-seed re-runs granted to a failing cell (default 1)")
+    p_scale.add_argument(
+        "--coalesce-sweep", action="store_true",
+        help="run the ITR coalescing sweep instead of the CPU grid: "
+             "(coalesce timer x throttle variant) under the contended "
+             "Flow Director configuration, reporting the reordering "
+             "each setting lets through (uses the largest --cpus and "
+             "message size 16384 unless --sizes names exactly one)")
+    p_scale.add_argument(
+        "--coalesce-us", type=int, nargs="+",
+        default=list(COALESCE_GRID),
+        help="coalesce-timer grid in microseconds (default: %s)"
+             % " ".join(str(u) for u in COALESCE_GRID))
+    p_scale.add_argument(
+        "--coalesce-variants", default=",".join(COALESCE_VARIANTS),
+        help="comma-separated throttle variants (default: %s)"
+             % ",".join(COALESCE_VARIANTS))
     _add_runstore(p_scale)
     p_scale.set_defaults(func=cmd_scale)
+
+    p_off = sub.add_parser(
+        "offload",
+        help="offload-vs-affinity study: per-bin host cycles per KB, "
+             "host stack vs NIC transport offload, at matched "
+             "offered load",
+    )
+    p_off.add_argument(
+        "--directions", nargs="+", choices=("tx", "rx"),
+        default=["tx", "rx"])
+    p_off.add_argument(
+        "--modes", default="full,toe",
+        help="comma-separated modes, baseline first (default "
+             "full,toe)")
+    p_off.add_argument("--size", type=int, default=65536)
+    p_off.add_argument(
+        "--offered-gbps", type=float, default=2.0,
+        help="matched offered load per direction; keep it under both "
+             "stacks' saturation point so sleep/wake costs stay "
+             "comparable (default 2.0)")
+    p_off.add_argument("--connections", type=int, default=8)
+    p_off.add_argument("--cpus", type=int, default=2)
+    p_off.add_argument("--seed", type=int, default=3)
+    p_off.add_argument("--warmup-ms", type=int, default=10)
+    p_off.add_argument("--measure-ms", type=int, default=14)
+    p_off.add_argument("--no-cache", action="store_true",
+                       help="always re-run, ignore cached results")
+    _add_runstore(p_off)
+    p_off.set_defaults(func=cmd_offload)
 
     p_diag = sub.add_parser(
         "diagnose",

@@ -384,6 +384,33 @@ class ExperimentResult:
                 peer_dup_acks_seen=sum(p.dup_acks_seen for p in peers),
                 peer_retransmits=sum(p.retransmits for p in peers),
             )
+        # NIC offload block: gated on any offload knob being active, so
+        # non-offload payloads (all 36 golden cells) stay byte-identical.
+        p = stack.params
+        if p.toe or p.lso or p.gro or p.itr_adaptive or p.itr_absorb:
+            nics = stack.nics
+            data["offload"] = dict(
+                toe=p.toe,
+                lso=p.lso,
+                gro=p.gro,
+                itr_adaptive=p.itr_adaptive,
+                itr_absorb=p.itr_absorb,
+                nic_engine_scale=p.nic_engine_scale,
+                gro_flush_us=p.gro_flush_us,
+                engine_cycles=sum(n.engine_cycles for n in nics),
+                engine_seg_cycles=sum(n.engine_seg_cycles for n in nics),
+                engine_gro_cycles=sum(n.engine_gro_cycles for n in nics),
+                engine_ack_cycles=sum(n.engine_ack_cycles for n in nics),
+                engine_rcv_cycles=sum(n.engine_rcv_cycles for n in nics),
+                lso_frames=sum(n.lso_frames for n in nics),
+                gro_merged=sum(n.gro_merged for n in nics),
+                gro_flushes_push=sum(n.gro_flushes_push for n in nics),
+                gro_flushes_ooo=sum(n.gro_flushes_ooo for n in nics),
+                gro_flushes_timer=sum(n.gro_flushes_timer for n in nics),
+                gro_flushes_fire=sum(n.gro_flushes_fire for n in nics),
+                toe_acks=sum(n.toe_acks for n in nics),
+                itr_holds=sum(n.itr_holds for n in nics),
+            )
         # Flow-class aggregation block: gated on an *actually
         # aggregated* stack (any class weight > 1), so all-singleton
         # class runs keep payloads byte-identical to the exact path.
@@ -584,6 +611,11 @@ def run_experiment(config, cache=None, progress=None):
         net_kwargs["wire_gbps"] = 10.0
     # Perturbation overrides win over the derived defaults above.
     net_kwargs.update(config.net_overrides)
+    # The "toe" affinity mode rides the (already-keyed) affinity field:
+    # it flips the transport-offload parameter here rather than through
+    # net_overrides, so ``sweep --modes toe`` needs no extra config.
+    if config.affinity == "toe":
+        net_kwargs["toe"] = True
     # Interned: every run (and every flow-class representative) with
     # the same network constants shares one frozen parameter object.
     net_params = NetParams.interned(**net_kwargs)

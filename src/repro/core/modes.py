@@ -29,14 +29,20 @@ Extension modes (``EXTENDED_MODES``) model what came after the paper:
     Multi-queue only: RSS plus the Intel ATR exact-match table that
     chases each flow's transmitting CPU -- the adaptive mode whose
     stale-filter races cause measurable packet reordering.
+``toe``
+    Full transport offload (FlexTOE lineage): segmentation, receive
+    aggregation, ACK bookkeeping and retransmit-queue trim run on the
+    NIC's offload engine.  Deliberately **affinity-independent** -- no
+    pinning at all, like ``none`` -- because the point of the study is
+    what offload relieves *without* help from placement.
 """
 
 AFFINITY_MODES = ("none", "proc", "irq", "full")
 
 #: Extension modes beyond the paper's four (see apply_affinity and the
-#: module docstring): ``rotate``, ``rss``, and the multi-queue-only
-#: ``flow-director``.
-EXTENDED_MODES = AFFINITY_MODES + ("rotate", "rss", "flow-director")
+#: module docstring): ``rotate``, ``rss``, the multi-queue-only
+#: ``flow-director``, and the offload-study ``toe``.
+EXTENDED_MODES = AFFINITY_MODES + ("rotate", "rss", "flow-director", "toe")
 
 
 def pin_plan(n_items, n_cpus):
@@ -74,6 +80,11 @@ def apply_affinity(machine, stack, tasks, mode):
             "unknown affinity mode %r (one of %s)" % (mode, EXTENDED_MODES)
         )
     applied = {"irq": {}, "proc": {}, "controller": None}
+    if mode == "toe":
+        # Transport offload is affinity-independent: the stack was
+        # built with NetParams.toe (see run_experiment), and placement
+        # stays exactly as unpinned as mode "none".
+        return applied
     if mode in ("irq", "full"):
         vectors = [nic.vector for nic in stack.nics]
         applied["irq"] = machine.ioapic.distribute(vectors)

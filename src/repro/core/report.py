@@ -425,6 +425,135 @@ def render_scale_table(sweep, cpus, sizes, modes, direction, n_queues,
     return "\n\n".join(blocks)
 
 
+def render_offload_table(study, modes, directions=("tx", "rx")):
+    """The offload-vs-affinity study's two tables.
+
+    First the per-bin cycles/KB comparison -- how much Copies /
+    Interface / Engine / Driver work per byte each mode pays at the
+    matched offered load -- with the last column giving the change
+    from the first mode (the host-stack baseline) to the last (the
+    offload mode).  Then the NIC-engine accounting: where the cycles
+    that left the host went (segmentation, GRO merge, ACK processing,
+    receive placement), plus the offload event counts.
+
+    ``study`` is :func:`repro.core.offload.run_offload_study`'s
+    ``{(direction, mode): ExperimentResult}``; failed (``None``) cells
+    render as ``FAIL``/``--``.
+    """
+    from repro.core.offload import (
+        OFFLOAD_BINS,
+        bin_cycles_per_kb,
+        engine_cycles_per_kb,
+    )
+
+    base_mode, cmp_mode = modes[0], modes[-1]
+    blocks = []
+    for direction in directions:
+        table = TextTable(
+            ["bin"] + ["%s cyc/KB" % m for m in modes]
+            + ["%s vs %s" % (cmp_mode, base_mode)],
+            title="Offload study (%s): per-bin host cycles per KB"
+            % direction.upper(),
+        )
+        for bin in OFFLOAD_BINS:
+            row = [BIN_LABELS.get(bin, bin)]
+            per_kb = {}
+            for mode in modes:
+                r = study.get((direction, mode))
+                if r is None:
+                    row.append("FAIL")
+                else:
+                    per_kb[mode] = bin_cycles_per_kb(r, bin)
+                    row.append("%.1f" % per_kb[mode])
+            if base_mode in per_kb and cmp_mode in per_kb \
+                    and per_kb[base_mode] > 0:
+                row.append(format_pct(
+                    per_kb[cmp_mode] / per_kb[base_mode] - 1.0
+                ))
+            else:
+                row.append("--")
+            table.add_row(*row)
+        row = ["NIC engine"]
+        for mode in modes:
+            r = study.get((direction, mode))
+            row.append("FAIL" if r is None
+                       else "%.1f" % engine_cycles_per_kb(r))
+        row.append("--")
+        table.add_row(*row)
+        row = ["throughput Mb/s"]
+        for mode in modes:
+            r = study.get((direction, mode))
+            row.append("FAIL" if r is None
+                       else "%.0f" % r.throughput_mbps)
+        row.append("--")
+        table.add_row(*row)
+        blocks.append(table.render())
+
+    engine = TextTable(
+        ["cell", "seg", "gro", "ack", "rcv", "LSO bursts", "GRO merged",
+         "NIC ACKs"],
+        title="Offload study: NIC engine cycle split and event counts",
+    )
+    for direction in directions:
+        for mode in modes:
+            r = study.get((direction, mode))
+            off = r.payload_get("offload") if r is not None else None
+            if off is None:
+                engine.add_row("%s %s" % (direction, mode),
+                               *(["--"] * 7))
+                continue
+            engine.add_row(
+                "%s %s" % (direction, mode),
+                str(off["engine_seg_cycles"]),
+                str(off["engine_gro_cycles"]),
+                str(off["engine_ack_cycles"]),
+                str(off["engine_rcv_cycles"]),
+                str(off["lso_frames"]),
+                str(off["gro_merged"]),
+                str(off["toe_acks"]),
+            )
+    blocks.append(engine.render())
+    return "\n\n".join(blocks)
+
+
+def render_coalesce_table(sweep, grid, variants, direction, n_queues):
+    """The ITR coalescing sweep's table.
+
+    One row per (coalesce_us, throttle-variant) cell of
+    :func:`repro.core.scale.run_coalesce_sweep`: throughput, then the
+    reordering signature the timer setting produces under the Flow
+    Director retarget race -- duplicate ACKs out, peer spurious
+    retransmits, reorder-depth peak, Flow Director retargets, and the
+    absorb variant's IRQ holds.  Failed (``None``) cells render as
+    ``FAIL``/``--``.
+    """
+    table = TextTable(
+        ["us", "variant", "Mb/s", "dupACK", "peer rexmit", "reorder",
+         "fd retargets", "itr holds"],
+        title="ITR coalescing sweep (%s, %d queues, flow-director)"
+        % (direction.upper(), n_queues),
+    )
+    for variant in variants:
+        for us in grid:
+            r = sweep.get((us, variant))
+            if r is None:
+                table.add_row(str(us), variant, "FAIL",
+                              *(["--"] * 5))
+                continue
+            s = r["steering"]
+            off = r.payload_get("offload")
+            table.add_row(
+                str(us), variant,
+                "%.0f" % r.throughput_mbps,
+                str(s["dup_acks_out"]),
+                str(s["peer_retransmits"]),
+                str(s["reorder_depth_peak"]),
+                str(s["fd_retargets"]),
+                "0" if off is None else str(off["itr_holds"]),
+            )
+    return table.render()
+
+
 def render_run_summary(result):
     """One-line experiment summary."""
     return result.summary()

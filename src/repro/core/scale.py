@@ -30,6 +30,14 @@ SCALE_MODES = ("rss", "flow-director")
 #: 100K-flow regime that flow-class aggregation makes tractable.
 SCALE_CONNECTIONS = (16, 1000, 10000, 100000)
 
+#: ITR coalesce-timer grid (microseconds): latency-tuned, the ixgbe
+#: default neighbourhood, and a bulk-throughput setting.
+COALESCE_GRID = (5, 25, 100)
+
+#: Throttle variants: the static timer, the adaptive (e1000/ixgbe
+#: shape) throttle, and Wu et al.'s reorder-absorbing hold.
+COALESCE_VARIANTS = ("baseline", "adaptive", "absorb")
+
 
 def run_scale_sweep(
     direction="rx",
@@ -115,6 +123,81 @@ def run_scale_sweep(
     else:
         flat = _serial_flat(configs, cache=cache, progress=progress,
                             journal=journal)
+    return dict(zip(cells, flat))
+
+
+def coalesce_overrides(coalesce_us, variant):
+    """The ``net_overrides`` patch for one coalesce-sweep cell."""
+    if variant not in COALESCE_VARIANTS:
+        raise ValueError(
+            "unknown coalesce variant %r (choose from %s)"
+            % (variant, ", ".join(COALESCE_VARIANTS))
+        )
+    overrides = {"coalesce_us": coalesce_us}
+    if variant == "adaptive":
+        overrides["itr_adaptive"] = True
+    elif variant == "absorb":
+        overrides["itr_absorb"] = True
+    return overrides
+
+
+def run_coalesce_sweep(
+    direction="rx",
+    message_size=16384,
+    grid=COALESCE_GRID,
+    variants=COALESCE_VARIANTS,
+    n_cpus=16,
+    n_queues=8,
+    n_connections=16,
+    warmup_ms=2,
+    measure_ms=3,
+    seed=7,
+    cache=None,
+    progress=None,
+    journal=None,
+    **config_kwargs
+):
+    """Run the (coalesce_us x throttle-variant) grid under Flow Director.
+
+    The sweep's question is Wu et al.'s: interrupt moderation batches
+    the frames a stale Flow Director filter sprayed across two queues,
+    so the *timer setting* decides whether a retarget race surfaces as
+    reordering.  Every cell therefore runs the contended Flow Director
+    configuration (more flows than queues, consumers migrating) and
+    reports the receiver's duplicate-ACK count per setting: a short
+    timer delivers the straggler queue's frames before the gap widens,
+    a long timer (and the adaptive throttle's bulk mode, which
+    stretches to 4x the base) lets it grow, and the absorb variant
+    holds the old queue's IRQ across the retarget window to soak the
+    reorder up again.
+
+    Returns ``{(coalesce_us, variant): ExperimentResult}``; read each
+    cell's ``result["steering"]`` for ``dup_acks_out`` /
+    ``reorder_depth_peak`` and ``result["offload"]["itr_holds"]`` for
+    the absorb variant's hold count.
+    """
+    cells = dedupe_cells(
+        ((us, variant) for variant in variants for us in grid),
+        axes="coalesce-us/variants",
+    )
+    configs = [
+        ExperimentConfig(
+            direction=direction,
+            message_size=message_size,
+            affinity="flow-director",
+            n_cpus=n_cpus,
+            n_queues=n_queues,
+            n_connections=n_connections,
+            warmup_ms=warmup_ms,
+            measure_ms=measure_ms,
+            seed=seed,
+            net_overrides=coalesce_overrides(us, variant),
+            **config_kwargs
+        )
+        for us, variant in cells
+    ]
+    flat = _serial_flat(configs, cache=cache, progress=progress,
+                        journal=journal)
     return dict(zip(cells, flat))
 
 

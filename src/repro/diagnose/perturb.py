@@ -2,7 +2,8 @@
 
 Each :class:`PerturbSpec` names one modeled cost the diagnosis can
 scale up -- copy engine throughput, socket-lock hold time, interrupt
-overhead, L2 capacity, TLB miss cost, NIC coalesce timer -- and knows
+overhead, L2 capacity, TLB miss cost, NIC coalesce timer, and the NIC
+offload engine's clock under LSO/GRO/TOE -- and knows
 how to express "this cost, ``factor`` times worse" as an
 :class:`~repro.core.experiment.ExperimentConfig` patch (the
 ``cost_overrides`` / ``net_overrides`` / ``cpu_overrides`` fields).
@@ -106,6 +107,39 @@ def _nic_coalesce(factor):
     )
 
 
+def _offload_engine(flag):
+    # Offload features are binary, so "this cost, factor times worse"
+    # means: the feature on, with the NIC offload engine's clock
+    # ``factor`` times slower than nominal.  The sensitivity then
+    # answers the sizing question for the engine the feature runs on
+    # (a slow enough serial engine becomes the bottleneck the offload
+    # moved off the host); a *negative* loss against the host-stack
+    # baseline says the offload still wins with the derated engine.
+    def build(factor):
+        return (
+            {"net_overrides": {flag: True, "nic_engine_scale": factor}},
+            factor,
+        )
+
+    return build
+
+
+def _itr_coalesce(factor):
+    from repro.net.params import NetParams
+
+    # The adaptive throttle's bulk mode stretches to 4x the base timer
+    # (see repro.net.nic.itr_delay_cycles), so scaling the base scales
+    # the whole adaptive range.
+    base = NetParams().coalesce_us
+    return (
+        {"net_overrides": {
+            "itr_adaptive": True,
+            "coalesce_us": int(round(base * factor)),
+        }},
+        factor,
+    )
+
+
 #: Registry order is the default knob order everywhere (CLI, report).
 PERTURB_SPECS = {
     spec.name: spec
@@ -152,6 +186,35 @@ PERTURB_SPECS = {
             "undersized batch interrupts)",
             bin_hint="driver",
             build=_nic_coalesce,
+        ),
+        PerturbSpec(
+            "lso",
+            "LSO engine clock (segmentation offloaded to a NIC engine "
+            "this factor slower than nominal)",
+            bin_hint=None,
+            build=_offload_engine("lso"),
+        ),
+        PerturbSpec(
+            "gro",
+            "GRO engine clock (receive aggregation on a NIC engine "
+            "this factor slower than nominal)",
+            bin_hint=None,
+            build=_offload_engine("gro"),
+        ),
+        PerturbSpec(
+            "itr-coalesce",
+            "adaptive interrupt throttle ceiling (adaptive ITR on, "
+            "base coalesce timer scaled -- the whole latency/bulk "
+            "range stretches with it)",
+            bin_hint="driver",
+            build=_itr_coalesce,
+        ),
+        PerturbSpec(
+            "toe",
+            "TOE engine clock (full transport offload on a NIC engine "
+            "this factor slower than nominal)",
+            bin_hint=None,
+            build=_offload_engine("toe"),
         ),
     )
 }

@@ -18,6 +18,7 @@ from repro.net.params import (
     RX_COPY_INSTR_PER_LINE,
     RX_COPY_SETUP_INSTRUCTIONS,
     RX_CSUM_INSTR_PER_LINE,
+    TOE_PIN_INSTR_PER_LINE,
     TX_COPY_INSTR_PER_LINE,
     TX_COPY_OFFLOAD_INSTR_PER_LINE,
     TX_COPY_SETUP_INSTRUCTIONS,
@@ -63,6 +64,48 @@ def charge_tx_copy(ctx, spec, src_range, dst_range, nbytes,
         reads=[src_range],
         writes=[dst_range],
         extra_cycles=_scale_extra(ctx, nbytes, cost_scale),
+    )
+
+
+def charge_toe_tx_handoff(ctx, spec, src_range, nbytes):
+    """TOE zero-copy transmit hand-off: pin the user pages and build
+    pull descriptors; the NIC engine reads, checksums and segments the
+    payload itself.
+
+    The host touches page structures, not payload -- only the buffer's
+    leading line is read -- so the per-line cost collapses from the
+    copy loop's dozens of instructions to a couple of descriptor-fill
+    instructions, and the cache never pulls the user data through.
+    """
+    addr, size = src_range
+    instructions = (
+        TX_COPY_SETUP_INSTRUCTIONS + lines_for(nbytes) * TOE_PIN_INSTR_PER_LINE
+    )
+    return ctx.charge(
+        spec,
+        instructions,
+        reads=[(addr, min(size, 64))],
+    )
+
+
+def charge_toe_rx_placement(ctx, spec, dst_range, nbytes):
+    """TOE direct data placement: the NIC has already DMAed payload
+    into the posted user buffer; the host only walks the completion
+    descriptors covering it.
+
+    Mirror image of :func:`charge_toe_tx_handoff`: a couple of
+    instructions per line of placed data, reading the skb's completion
+    header rather than streaming payload through the cache.
+    """
+    addr, size = dst_range
+    instructions = (
+        RX_COPY_SETUP_INSTRUCTIONS
+        + lines_for(nbytes) * TOE_PIN_INSTR_PER_LINE
+    )
+    return ctx.charge(
+        spec,
+        instructions,
+        reads=[(addr, min(size, 64))],
     )
 
 

@@ -45,6 +45,40 @@ def dev_queue_xmit(ctx, stack, nic, skb, packet):
     ctx.unlock(tx_lock)
 
 
+def dev_queue_xmit_lso(ctx, stack, nic, desc_skb, frames):
+    """LSO doorbell: one lock / descriptor chain / doorbell covers a
+    whole burst of segments; the NIC engine segments it
+    (:meth:`repro.net.nic.Nic.lso_xmit`).
+
+    The Flow Director ATR sampler sees one transmit per burst rather
+    than one per frame -- real LSO NICs sample the header the driver
+    handed them, which is exactly one header per large send.
+    """
+    specs = stack.specs
+    conn_id = frames[0][1].conn_id
+    tx_lock = nic.tx_lock_for(conn_id)
+    yield ("spin", tx_lock)
+    ctx.charge(
+        specs["dev_queue_xmit"],
+        base_instructions("dev_queue_xmit"),
+        reads=[desc_skb.head_range(64)],
+        writes=[(nic.regs.addr, 32)],
+    )
+    desc = nic.next_tx_desc()
+    ctx.charge(
+        specs["e1000_xmit_frame"],
+        base_instructions("e1000_xmit_frame"),
+        reads=[desc_skb.head_range(128)],
+        writes=[desc],
+        extra_cycles=250,
+    )
+    nic.lso_xmit(desc_skb, frames, ctx.now)
+    steering = nic.steering
+    if steering is not None:
+        steering.sample_tx(conn_id, ctx.cpu_index)
+    ctx.unlock(tx_lock)
+
+
 class SoftnetData:
     """Per-CPU softnet state: backlog + completion queues."""
 

@@ -28,11 +28,129 @@ single-queue construction is byte-for-byte the legacy device: no
 extra allocations, no extra events, identical results.
 """
 
+from repro.mem.layout import lines_for
 from repro.net.packet import HEADER_WIRE_BYTES
+from repro.net.params import (
+    NIC_ENGINE_ACK_CYCLES,
+    NIC_ENGINE_CYCLES_PER_LINE,
+    NIC_ENGINE_GRO_CYCLES,
+    NIC_ENGINE_SEG_CYCLES,
+)
 
 TX_DESC_BYTES = 16
 RX_DESC_BYTES = 16
 RING_ENTRIES = 256
+
+#: Largest byte count a GRO context may accumulate (the classic
+#: 64KB-minus-headers super-frame bound).
+GRO_MAX_BYTES = 65535
+
+
+class GroEngine:
+    """Per-queue LRO/GRO receive aggregation (one merge context per
+    flow, as in the Linux GRO lists or an LRO-capable NIC).
+
+    An in-order data frame either extends its flow's held super-frame
+    or opens a new context; the context drains to ``rx_pending`` when
+    the sender flushed (PSH), when a frame arrives out of order (GRO
+    must *never* reorder -- a Flow Director retarget race still shows
+    up as a reorder to the host unless the Wu et al. absorb variant
+    is on, see ``NetParams.itr_absorb``), when the optional aging
+    timer (``gro_flush_us``) expires, or when the queue's interrupt
+    fires.  Held frames count toward the coalescing frame threshold
+    and every context is flushed before the IRQ is raised, so a run
+    in which no merge happens is event-for-event identical to GRO
+    off.
+
+    An absorbed frame's ring buffer is recycled back to ``rx_posted``
+    (its bytes live on in the merged super-frame's length); the
+    super-frame's payload addresses wrap over its single 2KB buffer
+    (see ``SkBuff.payload_range``), modeling the chained page
+    fragments of a real merged skb.
+    """
+
+    def __init__(self, owner, nic):
+        self.owner = owner  # Nic (single-queue) or RxQueue
+        self.nic = nic
+        #: conn_id -> [held packet, held skb, aging-timer event]
+        self.contexts = {}
+
+    @property
+    def held(self):
+        return len(self.contexts)
+
+    def receive(self, packet, skb):
+        """One DMA-completed data frame enters the merge stage."""
+        nic = self.nic
+        entry = self.contexts.get(packet.conn_id)
+        if entry is not None:
+            held_pkt, held_skb, _ev = entry
+            if (
+                packet.seq == held_pkt.end_seq
+                and held_skb.len + packet.len <= GRO_MAX_BYTES
+            ):
+                # In-order continuation: extend the super-frame.  The
+                # header compare + descriptor coalesce runs on the NIC
+                # engine, never a host CPU.
+                nic.engine_charge(NIC_ENGINE_GRO_CYCLES, "gro")
+                held_skb.len += packet.len
+                held_skb.end_seq = packet.end_seq
+                held_pkt.len += packet.len
+                held_pkt.end_seq = packet.end_seq
+                held_pkt.ack_seq = max(held_pkt.ack_seq, packet.ack_seq)
+                nic.gro_merged += 1
+                self.owner.rx_posted.append(skb)
+                if packet.psh:
+                    held_pkt.psh = True
+                    self.flush(packet.conn_id, "push")
+                return
+            # Out of order (or context full): flush what we hold, then
+            # let the new frame start fresh below.
+            self.flush(packet.conn_id, "ooo")
+        if packet.psh:
+            # Sender-flushed single segment: straight through.
+            self.owner.rx_pending.append((packet, skb))
+            self.owner._signal()
+            return
+        ev = None
+        flush_cycles = nic.params.gro_flush_cycles
+        if flush_cycles > 0:
+            conn_id = packet.conn_id
+            ev = nic.engine.schedule_after(
+                flush_cycles,
+                lambda: self.flush(conn_id, "timer"),
+                label="%s gro flush" % nic.name,
+            )
+        self.contexts[packet.conn_id] = [packet, skb, ev]
+        self.owner._signal()
+
+    def flush(self, conn_id, reason):
+        """Drain one context to the pending list (and re-signal)."""
+        entry = self.contexts.pop(conn_id, None)
+        if entry is None:
+            return
+        packet, skb, ev = entry
+        if ev is not None:
+            ev.cancel()
+        nic = self.nic
+        if reason == "push":
+            nic.gro_flushes_push += 1
+        elif reason == "ooo":
+            nic.gro_flushes_ooo += 1
+        elif reason == "timer":
+            nic.gro_flushes_timer += 1
+        self.owner.rx_pending.append((packet, skb))
+        self.owner._signal()
+
+    def flush_all_for_fire(self):
+        """Interrupt is firing: every held frame rides it to the host."""
+        nic = self.nic
+        for conn_id in list(self.contexts):
+            packet, skb, ev = self.contexts.pop(conn_id)
+            if ev is not None:
+                ev.cancel()
+            nic.gro_flushes_fire += 1
+            self.owner.rx_pending.append((packet, skb))
 
 
 class RxQueue:
@@ -72,6 +190,14 @@ class RxQueue:
         self.tx_done = []
         self._irq_latched = False
         self._coalesce_timer = None
+        # Receive aggregation (None unless GRO/TOE is on).
+        self.gro = GroEngine(self, nic) if nic.params.rx_gro else None
+        # Adaptive ITR state: frames-per-interrupt EWMA, fixed point x8.
+        self._itr_ewma8 = 0
+        # Wu et al. reorder absorption: a Flow Director retarget sets
+        # this on the flow's *new* queue so stragglers still latched on
+        # the old queue interrupt (and deliver) first.
+        self.hold_until = 0
         # Statistics (windowed; see reset_stats).
         self.frames_steered = 0
         self.irqs_fired = 0
@@ -95,25 +221,45 @@ class RxQueue:
         if self._irq_latched:
             return
         pending = len(self.rx_pending) + len(self.tx_done)
+        if self.gro is not None:
+            pending += self.gro.held
         if pending >= nic.params.coalesce_frames:
             self._fire()
         elif self._coalesce_timer is None:
             self._coalesce_timer = nic.engine.schedule_after(
-                nic.params.coalesce_cycles, self._coalesce_timeout,
+                itr_delay_cycles(nic.params, self._itr_ewma8),
+                self._coalesce_timeout,
                 label="%s.q%d itr" % (nic.name, self.qid),
             )
 
     def _coalesce_timeout(self):
         self._coalesce_timer = None
-        if not self._irq_latched and (self.rx_pending or self.tx_done):
+        if not self._irq_latched and (
+            self.rx_pending or self.tx_done
+            or (self.gro is not None and self.gro.contexts)
+        ):
             self._fire()
 
     def _fire(self):
         nic = self.nic
+        if self.hold_until > nic.engine.now:
+            # Absorbing a suspected retarget reorder: defer to the
+            # hold deadline instead of interrupting now.
+            if self._coalesce_timer is None:
+                self._coalesce_timer = nic.engine.schedule_at(
+                    self.hold_until, self._coalesce_timeout,
+                    label="%s.q%d itr-hold" % (nic.name, self.qid),
+                )
+            return
         self._irq_latched = True
         if self._coalesce_timer is not None:
             self._coalesce_timer.cancel()
             self._coalesce_timer = None
+        if self.gro is not None and self.gro.contexts:
+            self.gro.flush_all_for_fire()
+        if nic.params.itr_adaptive:
+            claimed = len(self.rx_pending) + len(self.tx_done)
+            self._itr_ewma8 = (3 * self._itr_ewma8 + 8 * claimed) // 4
         self.irqs_fired += 1
         nic.irqs_fired += 1
         if nic.faults is not None:
@@ -133,13 +279,36 @@ class RxQueue:
         self._irq_latched = False
         tx_done, self.tx_done = self.tx_done, []
         rx_pending, self.rx_pending = self.rx_pending, []
-        if self.rx_pending or self.tx_done:
+        if self.rx_pending or self.tx_done or (
+            self.gro is not None and self.gro.contexts
+        ):
             self._signal()
         return tx_done, rx_pending
 
     def reset_stats(self):
         self.frames_steered = 0
         self.irqs_fired = 0
+
+
+def itr_delay_cycles(params, ewma8):
+    """The interrupt throttle's current timer delay.
+
+    Static ITR is the configured ``coalesce_us``.  The adaptive
+    throttle retunes between a fifth of that (latency mode: a trickle
+    of lone frames should not each eat a full window) and four times
+    it (bulk mode: streams hit the frame threshold anyway, so a long
+    backstop just cuts spurious timer fires), interpolating on the
+    frames-per-interrupt EWMA -- the e1000/ixgbe adaptive-ITR shape.
+    Deterministic integer math throughout.
+    """
+    base = params.coalesce_cycles
+    if not params.itr_adaptive:
+        return base
+    target8 = 8 * params.coalesce_frames
+    ewma8 = min(ewma8, target8)
+    lo = max(1, base // 5)
+    hi = base * 4
+    return lo + (hi - lo) * ewma8 // target8
 
 
 class Nic:
@@ -180,6 +349,34 @@ class Nic:
 
         self._irq_latched = False
         self._coalesce_timer = None
+        self._itr_ewma8 = 0
+        self.hold_until = 0
+
+        # Modeled NIC offload engine: a datapath processor alongside
+        # the MAC that burns its *own* cycles (LSO segmentation, GRO
+        # merging, TOE ACK processing) instead of a host CPU's.  Its
+        # clock advances in event callbacks only -- the legacy device
+        # never touches it.
+        self.engine_busy_until = 0
+        self.engine_cycles = 0
+        self.engine_seg_cycles = 0
+        self.engine_gro_cycles = 0
+        self.engine_ack_cycles = 0
+        self.engine_rcv_cycles = 0
+        self.lso_frames = 0
+        self.gro_merged = 0
+        self.gro_flushes_push = 0
+        self.gro_flushes_ooo = 0
+        self.gro_flushes_timer = 0
+        self.gro_flushes_fire = 0
+        self.toe_acks = 0
+        self.itr_holds = 0
+        # Single-queue receive aggregation (multi-queue devices carry
+        # one GroEngine per RxQueue instead).
+        self.gro = (
+            GroEngine(self, self) if params.rx_gro and n_queues == 1
+            else None
+        )
 
         # Multi-queue receive (None on the legacy single-queue device;
         # every per-frame path branches on this exactly once).
@@ -268,6 +465,10 @@ class Nic:
         else:
             addr, size = skb.header_range()
         self.machine.memsys.dma_read(addr, size)
+        self._tx_completion(skb, packet)
+        self._tx_deliver(packet)
+
+    def _tx_completion(self, skb, packet):
         if self.rxqs is None:
             self.tx_done.append(skb)
             self._signal()
@@ -277,6 +478,8 @@ class Nic:
             rxq = self.rxqs[self.steering.queue_for(packet.conn_id)]
             rxq.tx_done.append(skb)
             rxq._signal()
+
+    def _tx_deliver(self, packet):
         if (
             self.drop_every_n
             and packet.len > 0
@@ -349,8 +552,16 @@ class Nic:
         self.machine.memsys.dma_write(addr, size)
         self.frames_in += 1
         self.bytes_in += packet.len
-        self.rx_pending.append((packet, skb))
-        self._signal()
+        if (
+            self.gro is not None
+            and packet.len > 0
+            and not packet.is_ack
+            and packet.ctl is None
+        ):
+            self.gro.receive(packet, skb)
+        else:
+            self.rx_pending.append((packet, skb))
+            self._signal()
 
     def _rx_dma_mq(self, packet):
         """Multi-queue receive: classify, then DMA into that queue."""
@@ -376,8 +587,16 @@ class Nic:
         tracer = self.machine.tracer
         if tracer is not None:
             tracer.emit("rx_steer", conn=packet.conn_id, queue=rxq.qid)
-        rxq.rx_pending.append((packet, skb))
-        rxq._signal()
+        if (
+            rxq.gro is not None
+            and packet.len > 0
+            and not packet.is_ack
+            and packet.ctl is None
+        ):
+            rxq.gro.receive(packet, skb)
+        else:
+            rxq.rx_pending.append((packet, skb))
+            rxq._signal()
 
     # ------------------------------------------------------------------
     # Interrupt coalescing.
@@ -387,24 +606,42 @@ class Nic:
         if self._irq_latched:
             return
         pending = len(self.rx_pending) + len(self.tx_done)
+        if self.gro is not None:
+            pending += self.gro.held
         if pending >= self.params.coalesce_frames:
             self._fire()
         elif self._coalesce_timer is None:
             self._coalesce_timer = self.engine.schedule_after(
-                self.params.coalesce_cycles, self._coalesce_timeout,
+                itr_delay_cycles(self.params, self._itr_ewma8),
+                self._coalesce_timeout,
                 label="%s itr" % self.name,
             )
 
     def _coalesce_timeout(self):
         self._coalesce_timer = None
-        if not self._irq_latched and (self.rx_pending or self.tx_done):
+        if not self._irq_latched and (
+            self.rx_pending or self.tx_done
+            or (self.gro is not None and self.gro.contexts)
+        ):
             self._fire()
 
     def _fire(self):
+        if self.hold_until > self.engine.now:
+            if self._coalesce_timer is None:
+                self._coalesce_timer = self.engine.schedule_at(
+                    self.hold_until, self._coalesce_timeout,
+                    label="%s itr-hold" % self.name,
+                )
+            return
         self._irq_latched = True
         if self._coalesce_timer is not None:
             self._coalesce_timer.cancel()
             self._coalesce_timer = None
+        if self.gro is not None and self.gro.contexts:
+            self.gro.flush_all_for_fire()
+        if self.params.itr_adaptive:
+            claimed = len(self.rx_pending) + len(self.tx_done)
+            self._itr_ewma8 = (3 * self._itr_ewma8 + 8 * claimed) // 4
         self.irqs_fired += 1
         if self.faults is not None:
             delay = self.faults.irq_delay_cycles(self)
@@ -423,9 +660,111 @@ class Nic:
         self._irq_latched = False
         tx_done, self.tx_done = self.tx_done, []
         rx_pending, self.rx_pending = self.rx_pending, []
-        if self.rx_pending or self.tx_done:
+        if self.rx_pending or self.tx_done or (
+            self.gro is not None and self.gro.contexts
+        ):
             self._signal()
         return tx_done, rx_pending
+
+    # ------------------------------------------------------------------
+    # Offload engine (LSO segmentation, GRO merge, TOE ACK processing).
+    # ------------------------------------------------------------------
+
+    def engine_charge(self, cycles, kind):
+        """Burn ``cycles`` on the NIC engine clock; returns the engine
+        time at which the work completes.
+
+        The engine is a single serial unit: back-to-back work queues
+        behind itself (``engine_busy_until``), which is what makes
+        ``nic_engine_scale`` a meaningful diagnosis knob -- a slow
+        enough engine becomes the bottleneck LSO moved off the host.
+        """
+        cycles = int(cycles * self.params.nic_engine_scale)
+        start = self.engine.now
+        if self.engine_busy_until > start:
+            start = self.engine_busy_until
+        done = start + cycles
+        self.engine_busy_until = done
+        self.engine_cycles += cycles
+        if kind == "seg":
+            self.engine_seg_cycles += cycles
+        elif kind == "gro":
+            self.engine_gro_cycles += cycles
+        elif kind == "rcv":
+            self.engine_rcv_cycles += cycles
+        else:
+            self.engine_ack_cycles += cycles
+        return done
+
+    def engine_ack_xmit(self, packet, now):
+        """Emit a NIC-generated pure ACK (TOE): the engine builds the
+        header and serializes it onto the wire.  No host skb, no DMA --
+        the frame never exists in host memory."""
+        ready = self.engine_charge(NIC_ENGINE_ACK_CYCLES, "ack")
+        self.toe_acks += 1
+        start = max(now, ready, self._tx_wire_free_at, self.engine.now)
+        done = start + self.params.wire_cycles(packet.wire_len)
+        self._tx_wire_free_at = done
+        self.frames_out += 1
+        self.bytes_out += packet.len
+        self.engine.schedule_at(
+            done, lambda: self._tx_deliver(packet),
+            label="%s toe ack" % self.name,
+        )
+
+    def absorb_hold(self, qid):
+        """Wu et al. reorder absorption: a Flow Director retarget just
+        moved a flow here; hold this queue's interrupt one coalescing
+        window so frames already latched on the old queue fire first."""
+        rxq = self.rxqs[qid]
+        hold = self.engine.now + self.params.coalesce_cycles
+        if hold > rxq.hold_until:
+            rxq.hold_until = hold
+            self.itr_holds += 1
+
+    def lso_xmit(self, desc_skb, frames, now):
+        """LSO/TSO: one doorbell covers ``frames`` (a list of
+        ``(send-queue skb, packet)``).  The engine charges descriptor
+        build per segment plus the per-line segmentation/checksum pass
+        the host no longer runs, then the segments serialize onto the
+        wire.  One completion (``desc_skb``, the driver's descriptor
+        chain) is signalled after the last segment."""
+        total = 0
+        for _skb, packet in frames:
+            total += packet.len
+        ready = self.engine_charge(
+            NIC_ENGINE_SEG_CYCLES * len(frames)
+            + NIC_ENGINE_CYCLES_PER_LINE * lines_for(total),
+            "seg",
+        )
+        self.lso_frames += len(frames)
+        start = max(now, ready, self._tx_wire_free_at, self.engine.now)
+        last = len(frames) - 1
+        for i, (skb, packet) in enumerate(frames):
+            done = start + self.params.wire_cycles(packet.wire_len)
+            start = done
+            self.frames_out += 1
+            self.bytes_out += packet.len
+            completion = desc_skb if i == last else None
+            self.engine.schedule_at(
+                done,
+                lambda s=skb, p=packet, c=completion:
+                    self._lso_tx_complete(s, p, c),
+                label="%s lso tx" % self.name,
+            )
+        self._tx_wire_free_at = start
+
+    def _lso_tx_complete(self, skb, packet, completion):
+        # Transmit DMA pulls this segment's payload from the original
+        # send-queue skb (zero-copy under TOE: the host never wrote it).
+        if skb.len > 0:
+            addr, size = skb.data.field(0, skb.HEADER_BYTES + skb.len)
+        else:
+            addr, size = skb.header_range()
+        self.machine.memsys.dma_read(addr, size)
+        if completion is not None:
+            self._tx_completion(completion, packet)
+        self._tx_deliver(packet)
 
     def reset_stats(self):
         self.frames_out = 0
@@ -436,6 +775,19 @@ class Nic:
         self.tx_drops = 0
         self.irqs_fired = 0
         self.irqs_delayed = 0
+        self.engine_cycles = 0
+        self.engine_seg_cycles = 0
+        self.engine_gro_cycles = 0
+        self.engine_ack_cycles = 0
+        self.engine_rcv_cycles = 0
+        self.lso_frames = 0
+        self.gro_merged = 0
+        self.gro_flushes_push = 0
+        self.gro_flushes_ooo = 0
+        self.gro_flushes_timer = 0
+        self.gro_flushes_fire = 0
+        self.toe_acks = 0
+        self.itr_holds = 0
         if self.rxqs is not None:
             for rxq in self.rxqs:
                 rxq.reset_stats()

@@ -21,10 +21,10 @@ class Packet:
     """
 
     __slots__ = ("conn_id", "seq", "end_seq", "len", "is_ack", "ack_seq",
-                 "window", "ctl")
+                 "window", "ctl", "psh")
 
     def __init__(self, conn_id, seq=0, length=0, is_ack=False, ack_seq=0,
-                 window=0, ctl=None):
+                 window=0, ctl=None, psh=False):
         self.conn_id = conn_id
         self.seq = seq
         self.len = length
@@ -33,6 +33,11 @@ class Packet:
         self.ack_seq = ack_seq
         self.window = window
         self.ctl = ctl
+        # PSH flag: set on the last segment of an application message.
+        # Pure wire metadata (no cost anywhere); its one consumer is the
+        # NIC's GRO engine, which must not hold a flushed-by-the-sender
+        # segment back from the host.
+        self.psh = psh
 
     @property
     def wire_len(self):

@@ -42,6 +42,13 @@ class NetParams:
         rx_csum_offload=True,
         copy_cost_scale=1.0,
         lock_hold_scale=1.0,
+        lso=False,
+        gro=False,
+        gro_flush_us=0,
+        itr_adaptive=False,
+        itr_absorb=False,
+        toe=False,
+        nic_engine_scale=1.0,
     ):
         self.mtu = mtu
         self.mss = mss
@@ -75,6 +82,40 @@ class NetParams:
             raise ValueError("cost scales must be >= 1.0")
         self.copy_cost_scale = copy_cost_scale
         self.lock_hold_scale = lock_hold_scale
+        # Modern NIC offload engine (ROADMAP offload study; FlexTOE and
+        # Wu et al. in PAPERS.md).  All default-off so a stack built
+        # before these knobs existed is charge-for-charge identical:
+        #   lso          -- TCP segmentation offload: the host hands the
+        #                   NIC one large send and the per-segment
+        #                   transmit machinery runs on the NIC engine;
+        #   gro          -- LRO/GRO receive aggregation: in-order
+        #                   same-flow segments merge in the ring before
+        #                   the IRQ fires (flush on push/ooo/timer);
+        #   gro_flush_us -- optional aging bound on a GRO merge window
+        #                   (0 = hold until the interrupt fires);
+        #   itr_adaptive -- the per-queue interrupt throttle retunes its
+        #                   timer between coalesce_us/5 and 4x from the
+        #                   observed frames-per-interrupt rate;
+        #   itr_absorb   -- Wu et al.'s reorder-absorbing variant: a
+        #                   Flow Director retarget holds the *new*
+        #                   queue's interrupt one coalesce window so
+        #                   stragglers on the old queue deliver first;
+        #   toe          -- full transport offload: implies LSO + GRO
+        #                   and additionally moves ACK bookkeeping and
+        #                   retransmit-queue trim onto the NIC engine;
+        #   nic_engine_scale -- diagnosis knob: how much slower than
+        #                   nominal the modeled NIC engine runs.
+        if nic_engine_scale < 1.0:
+            raise ValueError("nic_engine_scale must be >= 1.0")
+        if gro_flush_us < 0:
+            raise ValueError("gro_flush_us must be >= 0")
+        self.lso = lso
+        self.gro = gro
+        self.gro_flush_us = gro_flush_us
+        self.itr_adaptive = itr_adaptive
+        self.itr_absorb = itr_absorb
+        self.toe = toe
+        self.nic_engine_scale = nic_engine_scale
         # Immutable from here on: interned instances (see ``interned``)
         # are shared across experiments and flow-class representatives,
         # so a mutation in one run would silently leak into the next.
@@ -131,6 +172,20 @@ class NetParams:
         """Serialization time of an ``n_bytes`` frame (plus overheads)."""
         # 38 bytes of Ethernet framing overhead (preamble/IFG/CRC/hdr).
         return int((n_bytes + 38) * self.cycles_per_wire_byte)
+
+    @property
+    def gro_flush_cycles(self):
+        return int(self.gro_flush_us * self.hz / 1e6)
+
+    @property
+    def tx_seg_offload(self):
+        """Transmit segmentation runs on the NIC engine (LSO or TOE)."""
+        return self.lso or self.toe
+
+    @property
+    def rx_gro(self):
+        """Receive aggregation is active (GRO or TOE)."""
+        return self.gro or self.toe
 
 
 #: Per-function static character: (bin, instructions-related budgets,
@@ -273,6 +328,35 @@ RX_COPY_INSTR_PER_LINE = 1
 TX_COPY_SETUP_INSTRUCTIONS = 100
 RX_COPY_SETUP_INSTRUCTIONS = 150
 COPY_SETUP_INSTRUCTIONS = 100
+
+#: NIC offload-engine cost model (cycles on the NIC engine clock, all
+#: scaled by ``NetParams.nic_engine_scale``).  The engine is a modeled
+#: datapath processor alongside the MAC: it burns its own cycles --
+#: visible in the ``offload`` result block -- never host CPU cycles.
+#: Per-line segmentation/checksum work mirrors the host's offloaded
+#: copy-loop shape (TX_COPY_OFFLOAD_INSTR_PER_LINE) at CPI ~1.
+NIC_ENGINE_CYCLES_PER_LINE = 40
+#: Per-segment descriptor build + header replication during LSO.
+NIC_ENGINE_SEG_CYCLES = 200
+#: Per-frame GRO merge (header compare + descriptor coalesce).
+NIC_ENGINE_GRO_CYCLES = 120
+#: Per-ACK TOE processing (completion lookup + retransmit-queue trim).
+NIC_ENGINE_ACK_CYCLES = 150
+#: Per-segment TOE receive processing (sequence check, reassembly
+#: bookkeeping, direct data placement descriptor update).
+NIC_ENGINE_RCV_CYCLES = 180
+
+#: Host-side instruction budgets under TOE: the socket layer becomes a
+#: doorbell write into the NIC's command queue (sock_sendmsg shrinks,
+#: inet_sendmsg/inet_recvmsg are bypassed), the user buffer is pinned
+#: and pulled by the NIC instead of copied+checksummed by the CPU, and
+#: an inbound ACK is a completion-queue read instead of full tcp_ack.
+TOE_DOORBELL_INSTRUCTIONS = 40
+TOE_PIN_INSTR_PER_LINE = 2
+TOE_ACK_COMPLETION_INSTRUCTIONS = 60
+#: Host cost of consuming one TOE receive-completion event in place of
+#: the full tcp_rcv_established fast path.
+TOE_RCV_COMPLETION_INSTRUCTIONS = 60
 
 #: Nominal cycles a process-context socket-lock critical section holds
 #: the lock (lock_sock charge + the engine work done under ownership);

@@ -79,6 +79,11 @@ class Peer:
         self.reorder_depth_peak = 0
 
         # Source state.
+        #: Application message boundary (bytes): the segment that
+        #: completes a multiple of this carries PSH, telling a GRO NIC
+        #: on the receive side not to hold it in a merge context.  The
+        #: stack sets it to the experiment's message size; 0 disables.
+        self.push_boundary = 0
         self.snd_nxt = 0
         self.snd_una = 0
         self.peer_rcv_window = self.adv_window
@@ -306,9 +311,15 @@ class Peer:
                         )
                     break
                 self._pace_sent += mss
-            self.nic.deliver_frame(
-                data_packet(self.conn_id, self.snd_nxt, mss)
-            )
+            pkt = data_packet(self.conn_id, self.snd_nxt, mss)
+            if self.push_boundary:
+                # PSH on the segment that *contains* a message
+                # boundary (the boundary almost never coincides with
+                # an MSS-aligned segment end).
+                pkt.psh = (
+                    (self.snd_nxt + mss) % self.push_boundary < mss
+                )
+            self.nic.deliver_frame(pkt)
             self.snd_nxt += mss
             self.total_sent += mss
             self.segments_sent += 1
@@ -352,9 +363,12 @@ class Peer:
             return
         self.retransmits += 1
         self.segments_sent += 1
-        self.nic.deliver_frame(
-            data_packet(self.conn_id, self.snd_una, length)
-        )
+        pkt = data_packet(self.conn_id, self.snd_una, length)
+        if self.push_boundary:
+            pkt.psh = (
+                (self.snd_una + length) % self.push_boundary < length
+            )
+        self.nic.deliver_frame(pkt)
 
     # ------------------------------------------------------------------
     # Initiator: command/response pipelining (iSCSI-shaped).

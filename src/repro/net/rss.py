@@ -262,6 +262,12 @@ class NicSteering:
             return
         queue = self.flow_director.sample_tx(conn_id, cpu_index)
         if queue is not None:
+            if self.nic.params.itr_absorb:
+                # Wu et al.: hold the new queue's interrupt one
+                # coalescing window so frames of this flow already
+                # latched on the old queue deliver to the host first,
+                # absorbing the stale-filter reorder.
+                self.nic.absorb_hold(queue)
             tracer = self.nic.machine.tracer
             if tracer is not None:
                 tracer.emit("fd_retarget", cpu=cpu_index,

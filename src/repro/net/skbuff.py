@@ -130,9 +130,19 @@ class SkBuff:
         return SKB_HEAD_SIZE + self.data.size
 
     def payload_range(self, offset=0, size=None):
-        """(addr, size) of payload bytes for cache modelling."""
+        """(addr, size) of payload bytes for cache modelling.
+
+        A GRO-merged super-frame carries more payload than one data
+        buffer holds (the real skb chains the absorbed frames' pages);
+        its addresses wrap over this skb's buffer.  Unmerged skbs --
+        every skb unless LRO/GRO is enabled -- never reach the wrap.
+        """
         if size is None:
             size = self.len - offset
+        cap = self.data.size - self.HEADER_BYTES
+        if offset + size > cap:
+            offset = offset % cap
+            size = min(size, cap - offset)
         return self.data.field(self.HEADER_BYTES + offset, size)
 
     def header_range(self):
@@ -235,3 +245,12 @@ class SkbPools:
         head = self.head_cache.alloc(cpu_index)
         data = self.data_cache.alloc(cpu_index)
         return SkBuff(head, data, conn=conn)
+
+    def free_nocharge(self, skb, cpu_index):
+        """Device-side free (TOE retransmit-queue trim runs on the NIC
+        engine): the objects recycle without any host CPU charge."""
+        self.head_cache.free(skb.head, cpu_index)
+        if skb.is_clone:
+            self.clones_live -= 1
+        else:
+            self.data_cache.free(skb.data, cpu_index)

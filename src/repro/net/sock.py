@@ -45,7 +45,12 @@ class Sock:
         #: the aggregate traffic of ``weight`` statistically-identical
         #: flows) scales them by its class weight -- the aggregate
         #: rmem/wmem/window across ``weight`` real sockets.
-        self.sndbuf = params.sndbuf
+        #: TOE moves the send queue onto the NIC: the descriptor ring
+        #: is far deeper than the classic host sndbuf, so TOE sockets
+        #: account against 4x the host budget (the advertised window
+        #: still caps bytes in flight).
+        self._sndbuf_scale = 4 if params.toe else 1
+        self.sndbuf = params.sndbuf * self._sndbuf_scale
         self.rcvbuf = params.rcvbuf
         self.max_window = params.max_window
         self.obj = machine.space.alloc("sock:%s" % name, SOCK_SIZE)
@@ -100,6 +105,12 @@ class Sock:
         #: of reordering (always zero on a loss-free single-queue run).
         self.dup_acks_out = 0
         self.rmem_queued = 0
+        #: TOE posted-buffer low-water mark: payload bytes the blocked
+        #: reader is waiting for.  The NIC (tcp_rcv_established under
+        #: toe) only raises the completion event -- wakes the reader --
+        #: once this much is placed.  0 = wake on any data (host-stack
+        #: sk_data_ready semantics).
+        self.toe_rcv_need = 0
         self.last_window_advertised = self.max_window
         self.segs_since_ack = 0
         self.delack_pending = False
@@ -122,7 +133,7 @@ class Sock:
         :data:`BUFFER_SCALE_CAP` flows' worth.  ``weight == 1`` is
         exactly the shared-params sizing."""
         scale = min(weight, BUFFER_SCALE_CAP)
-        self.sndbuf = self.params.sndbuf * scale
+        self.sndbuf = self.params.sndbuf * scale * self._sndbuf_scale
         self.rcvbuf = self.params.rcvbuf * scale
         self.max_window = self.params.max_window * scale
         self.snd_wnd = self.max_window
@@ -195,6 +206,11 @@ class Sock:
     def rcvbuf_free(self):
         return self.rcvbuf - self.rmem_queued
 
+    def rcv_available(self):
+        """Unread payload bytes sitting in the receive queue (the TOE
+        posted-buffer completion threshold is expressed in these)."""
+        return sum(skb.remaining for skb in self.receive_queue)
+
     def advertised_window(self):
         """Classic un-scaled receive window from free buffer space.
 
@@ -265,6 +281,7 @@ class Sock:
         self.dupacks = 0
         self.rcv_nxt = 0
         self.rmem_queued = 0
+        self.toe_rcv_need = 0
         self.segs_since_ack = 0
         self.last_window_advertised = self.max_window
         self.established = False

@@ -9,11 +9,12 @@ connection per NIC, per-CPU softnet state, TCP timers, and the
 from repro.kernel.interrupts import IrqLine
 from repro.kernel.softirq import NET_RX_SOFTIRQ, NET_TX_SOFTIRQ
 from repro.kernel.timers import KernelTimer
-from repro.net.copies import charge_rx_copy
+from repro.net.copies import charge_rx_copy, charge_toe_rx_placement
 from repro.net.dev import SoftnetData
 from repro.net.nic import Nic
 from repro.net.params import (
     LOCK_HOLD_NOMINAL_CYCLES,
+    TOE_DOORBELL_INSTRUCTIONS,
     NetParams,
     base_instructions,
     register_profiles,
@@ -246,6 +247,9 @@ class NetworkStack:
                      "web": "client"}[self.mode]
         peer = Peer(machine, nic, conn_id, self.params, peer_mode,
                     block_bytes=self.message_size)
+        # Source peers mark the last segment of each application
+        # message PSH so a GRO NIC flushes at message boundaries.
+        peer.push_boundary = self.message_size
         if self.mode == "web":
             sock.established = False
         if not shared:
@@ -552,16 +556,25 @@ class NetworkStack:
             base_instructions("sys_write"),
             reads=[(task_struct.addr, 128), (conn.file_obj.addr, 64)],
         )
-        ctx.charge(
-            specs["sock_sendmsg"],
-            base_instructions("sock_sendmsg"),
-            reads=[(conn.file_obj.addr, 64), conn.sock.buf_read(64)],
-        )
-        ctx.charge(
-            specs["inet_sendmsg"],
-            base_instructions("inet_sendmsg"),
-            reads=[conn.sock.tcb_read(64)],
-        )
+        if self.params.toe:
+            # TOE socket: the send path is a doorbell write into the
+            # NIC's command queue -- the inet glue layer is bypassed.
+            ctx.charge(
+                specs["sock_sendmsg"],
+                TOE_DOORBELL_INSTRUCTIONS,
+                reads=[(conn.file_obj.addr, 64)],
+            )
+        else:
+            ctx.charge(
+                specs["sock_sendmsg"],
+                base_instructions("sock_sendmsg"),
+                reads=[(conn.file_obj.addr, 64), conn.sock.buf_read(64)],
+            )
+            ctx.charge(
+                specs["inet_sendmsg"],
+                base_instructions("inet_sendmsg"),
+                reads=[conn.sock.tcb_read(64)],
+            )
         copied = yield from tcp_sendmsg(ctx, self, conn, nbytes)
         return copied
 
@@ -575,16 +588,25 @@ class NetworkStack:
             base_instructions("sys_read"),
             reads=[(task_struct.addr, 128), (conn.file_obj.addr, 64)],
         )
-        ctx.charge(
-            specs["sock_recvmsg"],
-            base_instructions("sock_recvmsg"),
-            reads=[(conn.file_obj.addr, 64), sock.buf_read(64)],
-        )
-        ctx.charge(
-            specs["inet_recvmsg"],
-            base_instructions("inet_recvmsg"),
-            reads=[sock.tcb_read(64)],
-        )
+        if self.params.toe:
+            # TOE socket: receive completions ride the NIC's event
+            # queue; the inet glue layer is bypassed.
+            ctx.charge(
+                specs["sock_recvmsg"],
+                TOE_DOORBELL_INSTRUCTIONS,
+                reads=[(conn.file_obj.addr, 64)],
+            )
+        else:
+            ctx.charge(
+                specs["sock_recvmsg"],
+                base_instructions("sock_recvmsg"),
+                reads=[(conn.file_obj.addr, 64), sock.buf_read(64)],
+            )
+            ctx.charge(
+                specs["inet_recvmsg"],
+                base_instructions("inet_recvmsg"),
+                reads=[sock.tcb_read(64)],
+            )
         ctx.charge(
             specs["tcp_recvmsg"],
             base_instructions("tcp_recvmsg"),
@@ -604,8 +626,14 @@ class NetworkStack:
                     for op in self.lock_sock(ctx, conn):
                         yield op
                     continue
-                if copied > 0 or sock.fin_received:
-                    break  # partial read, or EOF returning 0
+                if sock.fin_received:
+                    break  # EOF (returns 0 when nothing was copied)
+                if copied > 0 and not self.params.toe:
+                    # sk_wait_data semantics: a host-stack read returns
+                    # whatever arrived.  A TOE read is a posted buffer:
+                    # the NIC keeps filling it and completes once, so
+                    # the loop keeps going until ``nbytes`` are in.
+                    break
                 for op in self.release_sock(ctx, conn):
                     yield op
                 ctx.charge(
@@ -613,9 +641,26 @@ class NetworkStack:
                     base_instructions("sock_wait"),
                     reads=[sock.buf_read(64)],
                 )
-                yield ("block", sock.rcv_wq,
-                       lambda: (len(sock.receive_queue) > 0
-                                or sock.fin_received))
+                if self.params.toe:
+                    # TOE posted-buffer completion: the NIC fills the
+                    # posted receive buffer and raises one moderated
+                    # event; the host is not woken once per segment.
+                    # Never wait for more than the caller asked for,
+                    # and cap below the window so the threshold is
+                    # always reachable under flow control.
+                    need = min(nbytes - copied,
+                               self.params.max_window * 3 // 4)
+                    sock.toe_rcv_need = need
+                    yield ("block", sock.rcv_wq,
+                           lambda s=sock, n=need: (
+                               s.rcv_available() >= n
+                               or s.fin_received
+                               or bool(s.backlog)))
+                    sock.toe_rcv_need = 0
+                else:
+                    yield ("block", sock.rcv_wq,
+                           lambda: (len(sock.receive_queue) > 0
+                                    or sock.fin_received))
                 for op in self.lock_sock(ctx, conn):
                     yield op
                 continue
@@ -626,14 +671,29 @@ class NetworkStack:
                 55,
                 reads=[sock.tcb_read(64), skb.head_range(64)],
             )
-            charge_rx_copy(
-                ctx,
-                specs["__copy_to_user"],
-                skb.payload_range(skb.consumed, chunk),
-                conn.user_buffer.field(copied % conn.user_buffer.size, chunk),
-                chunk,
-                cost_scale=self.params.copy_cost_scale,
-            )
+            if self.params.toe:
+                # Direct data placement: the NIC DMAed the payload
+                # straight into the posted user buffer; the host only
+                # consumes the completion descriptors covering it.
+                charge_toe_rx_placement(
+                    ctx,
+                    specs["__copy_to_user"],
+                    conn.user_buffer.field(
+                        copied % conn.user_buffer.size, chunk
+                    ),
+                    chunk,
+                )
+            else:
+                charge_rx_copy(
+                    ctx,
+                    specs["__copy_to_user"],
+                    skb.payload_range(skb.consumed, chunk),
+                    conn.user_buffer.field(
+                        copied % conn.user_buffer.size, chunk
+                    ),
+                    chunk,
+                    cost_scale=self.params.copy_cost_scale,
+                )
             tracer = self.machine.tracer
             if tracer is not None:
                 tracer.emit("copy_to_user", cpu=ctx.cpu_index, ts=ctx.now,

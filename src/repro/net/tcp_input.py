@@ -15,7 +15,13 @@ This split is load-bearing for the paper: it keeps the Locks bin tiny
 up on the *process* CPU in the paper's per-CPU machine-clear tables.
 """
 
-from repro.net.params import base_instructions
+from repro.net.params import (
+    NIC_ENGINE_ACK_CYCLES,
+    NIC_ENGINE_RCV_CYCLES,
+    TOE_ACK_COMPLETION_INSTRUCTIONS,
+    TOE_RCV_COMPLETION_INSTRUCTIONS,
+    base_instructions,
+)
 from repro.net.tcp_output import (
     send_control,
     tcp_retransmit_skb,
@@ -171,15 +177,33 @@ def tcp_ack(ctx, stack, conn, skb):
     open the window, wake a blocked writer, continue transmitting."""
     sock = conn.sock
     specs = stack.specs
+    toe = stack.params.toe
     sock.acks_in += 1
-    ctx.charge(
-        specs["tcp_ack"],
-        base_instructions("tcp_ack"),
-        reads=[sock.tcb_read(576), skb.header_range()],
-        writes=[sock.tcb_write(256)],
-    )
+    if toe:
+        # TOE: the NIC engine owns ACK bookkeeping; the host reads one
+        # completion entry off the TOE queue instead of walking the
+        # full tcp_ack path over the 576-byte control block.
+        ctx.charge(
+            specs["tcp_ack"],
+            TOE_ACK_COMPLETION_INSTRUCTIONS,
+            reads=[sock.tcb_read(64), skb.header_range()],
+            writes=[sock.tcb_write(32)],
+        )
+    else:
+        ctx.charge(
+            specs["tcp_ack"],
+            base_instructions("tcp_ack"),
+            reads=[sock.tcb_read(576), skb.header_range()],
+            writes=[sock.tcb_write(256)],
+        )
     old_una = sock.snd_una
     freed = sock.ack_clean(skb.pkt.ack_seq)
+    if toe:
+        # ACK processing + retransmit-queue trim on the NIC engine.
+        conn.nic.engine_charge(
+            NIC_ENGINE_ACK_CYCLES + 40 * len(freed), "ack"
+        )
+        conn.nic.toe_acks += 1
     sock.snd_wnd = skb.pkt.window
     # Duplicate-ACK accounting and fast retransmit (Reno): three
     # duplicates for the same sequence point to a lost segment.
@@ -192,15 +216,21 @@ def tcp_ack(ctx, stack, conn, skb):
     elif skb.pkt.ack_seq > old_una:
         sock.dupacks = 0
     for acked in freed:
-        ctx.charge(
-            specs["sk_stream_mem"],
-            base_instructions("sk_stream_mem"),
-            reads=[sock.buf_read(64)],
-            writes=[sock.buf_write(48)],
-        )
-        stack.pools.free(
-            ctx, specs["kfree_skb"], base_instructions("kfree_skb"), acked
-        )
+        if toe:
+            # The NIC engine trimmed the retransmit queue; the buffers
+            # recycle without host buffer-management charges.
+            stack.pools.free_nocharge(acked, ctx.cpu_index)
+        else:
+            ctx.charge(
+                specs["sk_stream_mem"],
+                base_instructions("sk_stream_mem"),
+                reads=[sock.buf_read(64)],
+                writes=[sock.buf_write(48)],
+            )
+            stack.pools.free(
+                ctx, specs["kfree_skb"], base_instructions("kfree_skb"),
+                acked,
+            )
         conn.bytes_acked += acked.len
     # Retransmit timer: cancelled when the pipe drains, pushed out on
     # every ACK otherwise -- the mod_timer churn behind the paper's TX
@@ -237,12 +267,24 @@ def tcp_rcv_established(ctx, stack, conn, skb):
         charge_rx_csum(ctx, specs["csum_partial"],
                        skb.payload_range(0, skb.len), skb.len,
                        cost_scale=params.copy_cost_scale)
-    ctx.charge(
-        specs["tcp_rcv_established"],
-        base_instructions("tcp_rcv_established"),
-        reads=[sock.tcb_read(640), skb.header_range(), skb.head_range(128)],
-        writes=[sock.tcb_write(256)],
-    )
+    if params.toe:
+        # TOE receive: sequence tracking, reassembly and placement ran
+        # on the NIC engine; the host consumes one completion event.
+        ctx.charge(
+            specs["tcp_rcv_established"],
+            TOE_RCV_COMPLETION_INSTRUCTIONS,
+            reads=[sock.tcb_read(64), skb.header_range()],
+            writes=[sock.tcb_write(32)],
+        )
+        conn.nic.engine_charge(NIC_ENGINE_RCV_CYCLES, "rcv")
+    else:
+        ctx.charge(
+            specs["tcp_rcv_established"],
+            base_instructions("tcp_rcv_established"),
+            reads=[sock.tcb_read(640), skb.header_range(),
+                   skb.head_range(128)],
+            writes=[sock.tcb_write(256)],
+        )
     # Fault-induced slow paths (duplicate, gap, overlap).  The loss-free
     # fast path falls straight through all three tests without charging
     # anything extra, keeping baseline runs byte-identical.
@@ -331,5 +373,11 @@ def tcp_rcv_established(ctx, stack, conn, skb):
         ctx.add_timer(sock.delack_timer, params.delack_cycles)
         sock.delack_pending = True
     if sock.rcv_wq.waiters:
-        ctx.wake_up(sock.rcv_wq)
+        # TOE posted-buffer moderation: the completion event fires only
+        # once the reader's low-water mark is placed; the host-stack
+        # path keeps 2.4's wake-on-any-data sk_data_ready.
+        if (sock.toe_rcv_need == 0
+                or sock.rcv_available() >= sock.toe_rcv_need
+                or sock.fin_received):
+            ctx.wake_up(sock.rcv_wq)
     return

@@ -7,8 +7,8 @@ paper's bins: engine work here, buffer management in
 :mod:`repro.net.skbuff` helpers, driver work in :mod:`repro.net.dev`.
 """
 
-from repro.net.copies import charge_tx_copy
-from repro.net.dev import dev_queue_xmit
+from repro.net.copies import charge_toe_tx_handoff, charge_tx_copy
+from repro.net.dev import dev_queue_xmit, dev_queue_xmit_lso
 from repro.net.packet import ack_packet, control_packet, data_packet
 from repro.net.params import base_instructions
 
@@ -68,7 +68,19 @@ def tcp_sendmsg(ctx, stack, conn, nbytes):
                 base_instructions("sock_wait"),
                 reads=[sock.buf_read(64)],
             )
-            yield ("block", sock.snd_wq, sock.can_queue_skb)
+            if params.toe:
+                # TOE send-completion moderation: the NIC coalesces
+                # completion events and raises one when half the ring
+                # has drained (or everything left fits), instead of
+                # waking the host once per freed descriptor.
+                need_true = (
+                    -(-(nbytes - copied) // mss) * params.skb_truesize
+                )
+                need = min(need_true, sock.sndbuf // 2)
+                yield ("block", sock.snd_wq,
+                       lambda s=sock, n=need: s.sndbuf_free() >= n)
+            else:
+                yield ("block", sock.snd_wq, sock.can_queue_skb)
             for op in stack.lock_sock(ctx, conn):
                 yield op
             continue
@@ -79,15 +91,28 @@ def tcp_sendmsg(ctx, stack, conn, nbytes):
             reads=[sock.tcb_read(320)],
             writes=[sock.tcb_write(64)],
         )
-        charge_tx_copy(
-            ctx,
-            specs["csum_and_copy_from_user"],
-            conn.user_buffer.field(copied, chunk),
-            skb.payload_range(skb.len, chunk),
-            chunk,
-            csum_offload=params.tx_csum_offload,
-            cost_scale=params.copy_cost_scale,
-        )
+        if params.toe:
+            # Zero-copy hand-off: pin pages, build pull descriptors.
+            # The NIC engine reads+checksums the payload at LSO
+            # segmentation time (Nic.lso_xmit).
+            charge_toe_tx_handoff(
+                ctx,
+                specs["csum_and_copy_from_user"],
+                conn.user_buffer.field(copied, chunk),
+                chunk,
+            )
+        else:
+            charge_tx_copy(
+                ctx,
+                specs["csum_and_copy_from_user"],
+                conn.user_buffer.field(copied, chunk),
+                skb.payload_range(skb.len, chunk),
+                chunk,
+                # Under LSO the NIC checksums while segmenting, so the
+                # host runs the leaner pure-copy loop.
+                csum_offload=params.tx_csum_offload or params.lso,
+                cost_scale=params.copy_cost_scale,
+            )
         skb.len += chunk
         skb.end_seq = skb.seq + skb.len
         conn.write_seq += chunk
@@ -111,6 +136,10 @@ def tcp_write_xmit(ctx, stack, conn):
     sock = conn.sock
     specs = stack.specs
     params = stack.params
+    if params.tx_seg_offload:
+        for op in _tcp_write_xmit_offload(ctx, stack, conn):
+            yield op
+        return
     sent = 0
     while sock.send_head < len(sock.send_queue):
         skb = sock.send_queue[sock.send_head]
@@ -133,6 +162,74 @@ def tcp_write_xmit(ctx, stack, conn):
         if was_empty_pipe:
             stack.arm_rexmit_timer(ctx, conn)
     return sent
+
+
+def _tcp_write_xmit_offload(ctx, stack, conn):
+    """LSO/TSO transmit: the host hands the NIC one large send.
+
+    Every window-allowed segment is gathered into a single burst; the
+    per-segment transmit machinery (tcp_write_xmit bookkeeping, header
+    build, window selection, driver descriptor + doorbell, clone) is
+    charged **once** for the whole burst, and the per-segment
+    segmentation runs on the NIC engine clock (:meth:`Nic.lso_xmit`).
+    Sequence bookkeeping is identical to the per-segment path, so the
+    protocol state machine (windows, Nagle, retransmit arming) cannot
+    tell the difference.
+    """
+    sock = conn.sock
+    specs = stack.specs
+    params = stack.params
+    burst = []
+    while sock.send_head < len(sock.send_queue):
+        skb = sock.send_queue[sock.send_head]
+        if not sock.window_allows(skb.len):
+            break
+        if skb.len < params.mss and sock.in_flight > 0:
+            break  # Nagle: hold the partial segment while data is out
+        burst.append(skb)
+        sock.send_head += 1
+        was_empty_pipe = sock.in_flight == 0
+        sock.snd_nxt = skb.end_seq
+        sock.segs_out += 1
+        if was_empty_pipe:
+            stack.arm_rexmit_timer(ctx, conn)
+    if not burst:
+        return
+    head = burst[0]
+    ctx.charge(
+        specs["tcp_write_xmit"],
+        base_instructions("tcp_write_xmit"),
+        reads=[sock.tcb_read(96)],
+    )
+    ctx.charge(
+        specs["tcp_transmit_skb"],
+        base_instructions("tcp_transmit_skb"),
+        reads=[sock.tcb_read(512), head.head_range(128)],
+        writes=[sock.tcb_write(192), head.header_range()],
+    )
+    ctx.charge(
+        specs["__tcp_select_window"],
+        base_instructions("__tcp_select_window"),
+        reads=[sock.tcb_read(64)],
+    )
+    window = sock.advertised_window()
+    sock.last_window_advertised = window
+    frames = [
+        (skb, data_packet(conn.conn_id, skb.seq, skb.len,
+                          ack_seq=sock.rcv_nxt, window=window))
+        for skb in burst
+    ]
+    # One clone stands in for the whole descriptor chain the driver
+    # consumes (freed at TX-complete in the NET_TX softirq).
+    desc = stack.pools.clone(ctx, specs["alloc_skb"], 120, head)
+    ctx.charge(
+        specs["ip_queue_xmit"],
+        base_instructions("ip_queue_xmit"),
+        reads=[(stack.route_cache.addr, 128)],
+        writes=[desc.header_range()],
+    )
+    for op in dev_queue_xmit_lso(ctx, stack, conn.nic, desc, frames):
+        yield op
 
 
 def tcp_transmit_skb(ctx, stack, conn, skb):
@@ -234,6 +331,21 @@ def tcp_send_ack(ctx, stack, conn):
     window update from the reader).  Caller holds the socket lock."""
     sock = conn.sock
     specs = stack.specs
+    if stack.params.toe:
+        # NIC-autonomous ACK: the engine builds and emits the ACK
+        # itself; the host only cancels its (vestigial) delack timer.
+        window = sock.advertised_window()
+        packet = ack_packet(conn.conn_id, sock.rcv_nxt, window)
+        sock.last_window_advertised = window
+        sock.segs_since_ack = 0
+        sock.acks_out += 1
+        if sock.delack_pending:
+            ctx.charge(specs["del_timer"], base_instructions("del_timer"),
+                       writes=[sock.buf_write(32)])
+            stack.machine.del_timer(sock.delack_timer)
+            sock.delack_pending = False
+        conn.nic.engine_ack_xmit(packet, ctx.now)
+        return
     ctx.charge(
         specs["tcp_send_ack"],
         base_instructions("tcp_send_ack"),

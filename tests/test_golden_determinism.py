@@ -37,6 +37,23 @@ SIZES = (1024, 16384, 65536)
 MODES = ("none", "proc", "irq", "full")
 MQ_MODES = ("rss", "flow-director")
 
+#: NIC-offload cells, pinned alongside the classic 36.  ``toe`` rides
+#: the affinity field; ``lso``/``gro`` run under full affinity with
+#: the knob flipped through net_overrides.  Offload is all-new code
+#: gated off by default, so these cells pin its event ordering and
+#: engine accounting without touching the pre-existing hashes.
+OFFLOAD_KNOBS = {
+    "toe": ("toe", None),
+    "lso": ("full", {"lso": True}),
+    "gro": ("full", {"gro": True}),
+}
+OFFLOAD_CELLS = (
+    ("tx-65536-toe", "tx", 65536, "toe"),
+    ("rx-65536-toe", "rx", 65536, "toe"),
+    ("tx-65536-lso", "tx", 65536, "lso"),
+    ("rx-65536-gro", "rx", 65536, "gro"),
+)
+
 
 def _config(direction, size, mode):
     # Small windows keep the 36-cell matrix affordable in tier-1; the
@@ -57,14 +74,17 @@ def _config(direction, size, mode):
             measure_ms=3,
             seed=7,
         )
+    affinity, net_overrides = OFFLOAD_KNOBS.get(mode, (mode, None))
     return ExperimentConfig(
         direction=direction,
         message_size=size,
-        affinity=mode,
+        affinity=affinity,
         n_connections=4,
         warmup_ms=2,
         measure_ms=3,
         seed=7,
+        **({} if net_overrides is None
+           else {"net_overrides": net_overrides})
     )
 
 
@@ -87,7 +107,7 @@ GOLDEN = _load_golden()
 CELLS = [
     ("%s-%d-%s" % (d, s, m), d, s, m)
     for d in DIRECTIONS for s in SIZES for m in MODES + MQ_MODES
-]
+] + list(OFFLOAD_CELLS)
 
 
 def test_golden_table_is_complete():

@@ -92,16 +92,48 @@ MQ_SIZES = (16384,)
 #: regression there would otherwise be invisible to the gate.
 SCALE_CELLS = (("rss-1k", 16384),)
 
+#: The NIC-offload hot paths ride along at the large size: the TOE
+#: cell times the engine-side datapath (completion processing, NIC
+#: ACK generation, posted-buffer moderation), the GRO cell the
+#: in-ring merge loop.  Both are new code the classic matrix never
+#: enters.
+OFFLOAD_CELLS = (("toe", 65536), ("gro-rx", 65536))
+
 #: ``--quick`` corners: the cheapest and the most expensive cell of
-#: the single-NIC matrix plus both steering modes and the aggregated
-#: 1K-flow cell -- enough to catch a hot-path regression in CI
-#: without paying for the full matrix.
+#: the single-NIC matrix plus both steering modes, the aggregated
+#: 1K-flow cell and the offload cells -- enough to catch a hot-path
+#: regression in CI without paying for the full matrix.
 QUICK_CELLS = (("none", 1024), ("full", 65536),
                ("rss", 16384), ("flow-director", 16384),
-               ("rss-1k", 16384))
+               ("rss-1k", 16384)) + OFFLOAD_CELLS
 
 
 def _cell_config(mode, size, direction, measure_ms):
+    if mode == "toe":
+        # Full transport offload: affinity-independent, single NIC.
+        return ExperimentConfig(
+            direction=direction,
+            message_size=size,
+            affinity="toe",
+            n_connections=4,
+            warmup_ms=2,
+            measure_ms=measure_ms,
+            seed=7,
+        )
+    if mode == "gro-rx":
+        # In-ring receive aggregation under full affinity.  Always an
+        # RX cell (the knob only has an RX datapath), whatever
+        # --direction the rest of the matrix runs.
+        return ExperimentConfig(
+            direction="rx",
+            message_size=size,
+            affinity="full",
+            n_connections=4,
+            net_overrides={"gro": True},
+            warmup_ms=2,
+            measure_ms=measure_ms,
+            seed=7,
+        )
     if mode == "rss-1k":
         # 1000 flows, class-aggregated: the scale-study hot path.
         return ExperimentConfig(
@@ -227,6 +259,7 @@ def run_matrix(args):
         [(m, s) for m in MODES for s in SIZES]
         + [(m, s) for m in MQ_MODES for s in MQ_SIZES]
         + list(SCALE_CELLS)
+        + list(OFFLOAD_CELLS)
     )
     calib = calibrate()
     print("calibration kernel: %.4fs" % calib, file=sys.stderr)
